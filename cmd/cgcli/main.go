@@ -1,0 +1,70 @@
+// Command cgcli sends one RESP command to a cgserver instance and
+// prints the reply — a minimal redis-cli equivalent for the §V-F
+// deployment.
+//
+//	cgcli -addr 127.0.0.1:6380 g.insert 1 2
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"cuckoograph/internal/resp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "server address")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cgcli [-addr host:port] <command> [args...]")
+		os.Exit(2)
+	}
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgcli:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	if err := resp.Write(w, resp.Command(flag.Args()...)); err != nil {
+		fmt.Fprintln(os.Stderr, "cgcli:", err)
+		os.Exit(1)
+	}
+	w.Flush()
+	reply, err := resp.Read(bufio.NewReader(conn))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgcli:", err)
+		os.Exit(1)
+	}
+	fmt.Println(render(reply))
+}
+
+func render(v resp.Value) string {
+	switch v.Type {
+	case '+':
+		return v.Str
+	case '-':
+		return "(error) " + v.Str
+	case ':':
+		return fmt.Sprintf("(integer) %d", v.Int)
+	case '$':
+		if v.Null {
+			return "(nil)"
+		}
+		return fmt.Sprintf("%q", v.Str)
+	case '*':
+		parts := make([]string, len(v.Array))
+		for i, item := range v.Array {
+			parts[i] = fmt.Sprintf("%d) %s", i+1, render(item))
+		}
+		if len(parts) == 0 {
+			return "(empty array)"
+		}
+		return strings.Join(parts, "\n")
+	}
+	return "(unknown)"
+}

@@ -1,0 +1,40 @@
+// Command cgserver starts the Redis-like RESP server with the
+// CuckooGraph module loaded (the paper's §V-F deployment). It speaks
+// RESP2 on the given address; use cgcli or any Redis client:
+//
+//	cgserver -addr 127.0.0.1:6380
+//	cgcli -addr 127.0.0.1:6380 g.insert 1 2
+//	cgcli -addr 127.0.0.1:6380 g.getneighbors 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"cuckoograph/internal/redislike"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	flag.Parse()
+
+	srv := redislike.NewServer()
+	_, mod := redislike.NewGraphModule()
+	if err := srv.LoadModule(mod); err != nil {
+		fmt.Fprintln(os.Stderr, "cgserver:", err)
+		os.Exit(1)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.query g.getneighbors)\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

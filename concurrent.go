@@ -1,0 +1,123 @@
+package cuckoograph
+
+import (
+	"io"
+	"sync"
+
+	"cuckoograph/internal/core"
+)
+
+// SafeGraph is a Graph guarded by a read-write lock: point queries and
+// traversals run concurrently, mutations serialise. The underlying
+// structure is the same single-writer CuckooGraph; this wrapper is the
+// deployment shape used by the server integrations (§V-F runs the
+// structure behind Redis's command loop).
+type SafeGraph struct {
+	mu sync.RWMutex
+	g  *Graph
+}
+
+// NewSafe returns a concurrency-safe basic CuckooGraph.
+func NewSafe() *SafeGraph { return NewSafeWithOptions(Options{}) }
+
+// NewSafeWithOptions returns a concurrency-safe graph with the given
+// tuning.
+func NewSafeWithOptions(o Options) *SafeGraph {
+	return &SafeGraph{g: NewWithOptions(o)}
+}
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new.
+func (s *SafeGraph) InsertEdge(u, v NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.InsertEdge(u, v)
+}
+
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
+func (s *SafeGraph) DeleteEdge(u, v NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.DeleteEdge(u, v)
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (s *SafeGraph) HasEdge(u, v NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.HasEdge(u, v)
+}
+
+// Successors returns u's successors as a fresh slice.
+func (s *SafeGraph) Successors(u NodeID) []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Successors(u)
+}
+
+// Degree returns u's out-degree.
+func (s *SafeGraph) Degree(u NodeID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Degree(u)
+}
+
+// NumEdges returns the number of distinct stored edges.
+func (s *SafeGraph) NumEdges() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.NumEdges()
+}
+
+// NumNodes returns the number of distinct source nodes.
+func (s *SafeGraph) NumNodes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.NumNodes()
+}
+
+// MemoryUsage returns the structural bytes held by the graph.
+func (s *SafeGraph) MemoryUsage() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.MemoryUsage()
+}
+
+// Save snapshots the graph to w while holding the read lock.
+func (s *SafeGraph) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Save(w)
+}
+
+// Save writes a binary snapshot of the graph (header + fixed-width edge
+// records) suitable for Load.
+func (g *Graph) Save(w io.Writer) error { return g.g.Save(w) }
+
+// Load reads a snapshot produced by Graph.Save into a fresh Graph.
+func Load(r io.Reader) (*Graph, error) { return LoadWithOptions(r, Options{}) }
+
+// LoadWithOptions reads a snapshot with explicit tuning.
+func LoadWithOptions(r io.Reader, o Options) (*Graph, error) {
+	g, err := core.LoadGraph(r, o.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Save writes a binary snapshot of the weighted graph including weights.
+func (w *Weighted) Save(dst io.Writer) error { return w.w.Save(dst) }
+
+// LoadWeighted reads a snapshot produced by Weighted.Save.
+func LoadWeighted(r io.Reader) (*Weighted, error) {
+	return LoadWeightedWithOptions(r, Options{})
+}
+
+// LoadWeightedWithOptions reads a weighted snapshot with explicit tuning.
+func LoadWeightedWithOptions(r io.Reader, o Options) (*Weighted, error) {
+	w, err := core.LoadWeighted(r, o.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Weighted{w: w}, nil
+}

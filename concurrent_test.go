@@ -1,0 +1,112 @@
+package cuckoograph_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"cuckoograph"
+)
+
+func TestSafeGraphConcurrentReadersAndWriters(t *testing.T) {
+	g := cuckoograph.NewSafe()
+	const writers, readers, perWriter = 4, 4, 2000
+
+	var writerWG, readerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(base uint64) {
+			defer writerWG.Done()
+			for i := uint64(0); i < perWriter; i++ {
+				g.InsertEdge(base*perWriter+i, i)
+			}
+		}(uint64(w))
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(seed uint64) {
+			defer readerWG.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g.HasEdge(seed*perWriter+i%perWriter, i%perWriter)
+				g.Degree(seed * perWriter)
+				_ = g.NumEdges()
+			}
+		}(uint64(r))
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if g.NumEdges() != writers*perWriter {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := uint64(0); i < perWriter; i += 97 {
+			if !g.HasEdge(uint64(w)*perWriter+i, i) {
+				t.Fatalf("edge from writer %d missing", w)
+			}
+		}
+	}
+}
+
+func TestSafeGraphDeleteAndSave(t *testing.T) {
+	g := cuckoograph.NewSafe()
+	g.InsertEdge(1, 2)
+	g.InsertEdge(3, 4)
+	if !g.DeleteEdge(1, 2) || g.DeleteEdge(1, 2) {
+		t.Fatal("delete semantics wrong")
+	}
+	if g.NumNodes() != 1 || len(g.Successors(3)) != 1 {
+		t.Fatal("counts wrong")
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := cuckoograph.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasEdge(3, 4) || loaded.HasEdge(1, 2) {
+		t.Fatal("snapshot content wrong")
+	}
+	_ = g.MemoryUsage()
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	g := cuckoograph.New()
+	for i := uint64(0); i < 1000; i++ {
+		g.InsertEdge(i%50, i)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := cuckoograph.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d, want %d", g2.NumEdges(), g.NumEdges())
+	}
+
+	w := cuckoograph.NewWeighted()
+	w.Add(1, 2, 9)
+	buf.Reset()
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cuckoograph.LoadWeighted(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w2.Weight(1, 2); got != 9 {
+		t.Fatalf("weight = %d, want 9", got)
+	}
+}

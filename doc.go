@@ -1,0 +1,42 @@
+// Package cuckoograph is a Go implementation of CuckooGraph, the
+// scalable and space-time efficient data structure for large-scale
+// dynamic graphs from the ICDE 2025 paper of the same name
+// (arXiv:2405.15193).
+//
+// CuckooGraph replaces the adjacency list / CSR foundations of dynamic
+// graph stores with a hierarchy of cuckoo hash tables:
+//
+//   - a large cuckoo hash table (L-CHT) maps each source node u to a
+//     cell whose Part 2 holds up to 2R neighbour ids inline;
+//   - nodes whose degree outgrows the inline slots transform the cell
+//     into R pointers at small cuckoo hash tables (an S-CHT chain) that
+//     grow and shrink by a fixed rule (TRANSFORMATION, Table II of the
+//     paper), so space tracks the live degree of every node;
+//   - insertion failures from cuckoo kick wars land in small bounded
+//     denylists (DENYLIST) that are drained back on every expansion.
+//
+// The result is O(1) edge insertion, query and deletion with a bounded
+// number of memory accesses, and space proportional to the number of
+// live edges — no resizing stalls, no pointer-chasing adjacency walks.
+//
+// # Quick start
+//
+//	g := cuckoograph.New()
+//	g.InsertEdge(1, 2)
+//	g.HasEdge(1, 2)        // true
+//	g.Successors(1)        // [2]
+//	g.DeleteEdge(1, 2)
+//
+// Use NewWeighted for streams with duplicate edges (each edge carries a
+// multiplicity weight, §III-B of the paper) and NewMulti for
+// property-graph workloads where several distinct edges connect the same
+// node pair (§V-G).
+//
+// The internal packages also contain from-scratch implementations of the
+// paper's baselines (LiveGraph, Sortledton, Wind-Bell Index, Spruce,
+// adjacency list, PCSR), the graph analytics suite (BFS, SSSP, TC, CC,
+// PageRank, BC, LCC), synthetic dataset generators matching Table IV,
+// a Redis-like RESP server with a CuckooGraph module and a Neo4j-like
+// property-graph engine — everything needed to regenerate the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package cuckoograph

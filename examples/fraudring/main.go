@@ -1,0 +1,65 @@
+// Fraudring: graph analytics over a transaction graph stored in
+// CuckooGraph — the financial fraud-detection motivation of the paper's
+// introduction. Rings of accounts that cycle money show up as triangles
+// and strongly connected components.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"cuckoograph/internal/analytics"
+	"cuckoograph/internal/hashutil"
+	"cuckoograph/internal/stores"
+)
+
+func main() {
+	s := stores.NewCuckooGraph()
+	rng := hashutil.NewRNG(2024)
+
+	// Background traffic: 5000 random transfers between 800 accounts.
+	for i := 0; i < 5000; i++ {
+		s.InsertEdge(rng.Uint64n(800), rng.Uint64n(800))
+	}
+	// Planted fraud rings: tight cycles with internal chatter.
+	rings := [][]uint64{
+		{900, 901, 902},
+		{910, 911, 912, 913},
+		{920, 921, 922, 923, 924},
+	}
+	for _, ring := range rings {
+		for i := range ring {
+			s.InsertEdge(ring[i], ring[(i+1)%len(ring)])
+			s.InsertEdge(ring[(i+1)%len(ring)], ring[i])
+		}
+	}
+
+	// 1. Strongly connected components isolate candidate rings.
+	comp, n := analytics.ConnectedComponents(s)
+	sizes := map[int]int{}
+	for _, c := range comp {
+		sizes[c]++
+	}
+	fmt.Printf("%d SCCs over %d accounts\n", n, len(comp))
+
+	// 2. Triangle counting flags accounts inside dense cycles.
+	type hit struct {
+		acct uint64
+		tri  int
+	}
+	var hits []hit
+	for _, ring := range rings {
+		for _, acct := range ring {
+			hits = append(hits, hit{acct, analytics.TriangleCount(s, acct)})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].tri > hits[j].tri })
+	fmt.Println("top ring members by triangle count:")
+	for _, h := range hits[:5] {
+		fmt.Printf("  account %d: %d triangles (component %d)\n", h.acct, h.tri, comp[h.acct])
+	}
+
+	// 3. BFS from a flagged account bounds the blast radius.
+	reach := analytics.BFS(s, rings[2][0])
+	fmt.Printf("accounts reachable from %d: %d\n", rings[2][0], len(reach))
+}

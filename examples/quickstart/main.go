@@ -1,0 +1,49 @@
+// Quickstart: the basic CuckooGraph API — insert, query, traverse,
+// delete, and watch the structure transform and shrink as it works.
+package main
+
+import (
+	"fmt"
+
+	"cuckoograph"
+)
+
+func main() {
+	g := cuckoograph.New()
+
+	// Insert a small follower graph.
+	edges := [][2]uint64{
+		{1, 2}, {1, 3}, {2, 3}, {3, 1}, {4, 1}, {4, 2},
+	}
+	for _, e := range edges {
+		g.InsertEdge(e[0], e[1])
+	}
+	fmt.Printf("nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges())
+
+	// Point queries are O(1): at most two L-CHT buckets, an S-CHT chain
+	// and the denylists are probed.
+	fmt.Println("1→2?", g.HasEdge(1, 2)) // true
+	fmt.Println("2→1?", g.HasEdge(2, 1)) // false
+
+	// Successor traversal.
+	fmt.Println("successors of 1:", g.Successors(1))
+	fmt.Println("out-degree of 4:", g.Degree(4))
+
+	// A hub node: its Part 2 transforms from 2R inline slots into an
+	// S-CHT chain automatically as the degree grows.
+	for v := uint64(100); v < 1100; v++ {
+		g.InsertEdge(7, v)
+	}
+	st := g.Stats()
+	fmt.Printf("after hub: degree(7)=%d chains=%d chainCells=%d memory=%dB\n",
+		g.Degree(7), st.Chains, st.ChainCells, g.MemoryUsage())
+
+	// Deletions trigger reverse transformation: the chain contracts and
+	// finally collapses back into inline slots.
+	for v := uint64(100); v < 1098; v++ {
+		g.DeleteEdge(7, v)
+	}
+	st = g.Stats()
+	fmt.Printf("after deletes: degree(7)=%d chains=%d memory=%dB\n",
+		g.Degree(7), st.Chains, g.MemoryUsage())
+}

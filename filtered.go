@@ -1,0 +1,90 @@
+package cuckoograph
+
+import "cuckoograph/internal/vend"
+
+// FilteredGraph pairs a CuckooGraph with a VEND-style vertex-encoding
+// filter (reference [46] of the paper; §II-B marks this integration as
+// future work). Most node pairs in a real graph are not connected, so
+// the filter answers the bulk of negative HasEdge queries from a
+// compact per-vertex summary without probing the graph at all; positive
+// and "maybe" queries fall through to CuckooGraph.
+type FilteredGraph struct {
+	g *Graph
+	f *vend.Filter
+
+	deletions uint64 // since the last filter rebuild
+}
+
+// NewFiltered returns an empty VEND-filtered CuckooGraph.
+func NewFiltered() *FilteredGraph { return NewFilteredWithOptions(Options{}) }
+
+// NewFilteredWithOptions returns a filtered graph with explicit tuning.
+func NewFilteredWithOptions(o Options) *FilteredGraph {
+	return &FilteredGraph{g: NewWithOptions(o), f: vend.New()}
+}
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new.
+func (fg *FilteredGraph) InsertEdge(u, v NodeID) bool {
+	if !fg.g.InsertEdge(u, v) {
+		return false
+	}
+	fg.f.AddEdge(u, v)
+	return true
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored; certain-negative answers
+// come straight from the filter.
+func (fg *FilteredGraph) HasEdge(u, v NodeID) bool {
+	if !fg.f.MaybeHasEdge(u, v) {
+		return false
+	}
+	return fg.g.HasEdge(u, v)
+}
+
+// DeleteEdge removes ⟨u,v⟩. The filter degrades conservatively on
+// deletions and is rebuilt once they exceed half the live edges.
+func (fg *FilteredGraph) DeleteEdge(u, v NodeID) bool {
+	if !fg.g.DeleteEdge(u, v) {
+		return false
+	}
+	fg.f.RemoveEdge(u, v)
+	fg.deletions++
+	if fg.deletions > fg.g.NumEdges()/2+16 {
+		fg.RebuildFilter()
+	}
+	return true
+}
+
+// RebuildFilter reconstructs the filter exactly from the graph,
+// clearing deletion slack.
+func (fg *FilteredGraph) RebuildFilter() {
+	fg.deletions = 0
+	fg.f.Rebuild(func(fn func(u, v uint64)) {
+		fg.g.ForEachNode(func(u uint64) bool {
+			fg.g.ForEachSuccessor(u, func(v uint64) bool {
+				fn(u, v)
+				return true
+			})
+			return true
+		})
+	})
+}
+
+// ForEachSuccessor calls fn for each successor of u.
+func (fg *FilteredGraph) ForEachSuccessor(u NodeID, fn func(v NodeID) bool) {
+	fg.g.ForEachSuccessor(u, fn)
+}
+
+// Successors returns u's successors as a fresh slice.
+func (fg *FilteredGraph) Successors(u NodeID) []NodeID { return fg.g.Successors(u) }
+
+// NumEdges returns the number of distinct stored edges.
+func (fg *FilteredGraph) NumEdges() uint64 { return fg.g.NumEdges() }
+
+// NumNodes returns the number of distinct source nodes.
+func (fg *FilteredGraph) NumNodes() uint64 { return fg.g.NumNodes() }
+
+// MemoryUsage returns graph plus filter structural bytes.
+func (fg *FilteredGraph) MemoryUsage() uint64 {
+	return fg.g.MemoryUsage() + fg.f.MemoryBytes()
+}

@@ -1,0 +1,90 @@
+package cuckoograph_test
+
+import (
+	"testing"
+
+	"cuckoograph"
+	"cuckoograph/internal/hashutil"
+)
+
+// TestFilteredGraphAgreesWithPlain runs identical operation streams
+// through a plain and a VEND-filtered graph; answers must never differ.
+func TestFilteredGraphAgreesWithPlain(t *testing.T) {
+	plain := cuckoograph.New()
+	filtered := cuckoograph.NewFiltered()
+	rng := hashutil.NewRNG(77)
+	for i := 0; i < 30000; i++ {
+		u, v := rng.Uint64n(300), rng.Uint64n(3000)
+		switch rng.Intn(5) {
+		case 0:
+			if plain.DeleteEdge(u, v) != filtered.DeleteEdge(u, v) {
+				t.Fatalf("delete divergence at ⟨%d,%d⟩", u, v)
+			}
+		case 1, 2:
+			if plain.InsertEdge(u, v) != filtered.InsertEdge(u, v) {
+				t.Fatalf("insert divergence at ⟨%d,%d⟩", u, v)
+			}
+		default:
+			if plain.HasEdge(u, v) != filtered.HasEdge(u, v) {
+				t.Fatalf("query divergence at ⟨%d,%d⟩", u, v)
+			}
+		}
+	}
+	if plain.NumEdges() != filtered.NumEdges() {
+		t.Fatalf("edge counts diverge: %d vs %d", plain.NumEdges(), filtered.NumEdges())
+	}
+}
+
+func TestFilteredGraphRebuild(t *testing.T) {
+	fg := cuckoograph.NewFiltered()
+	for v := uint64(0); v < 1000; v++ {
+		fg.InsertEdge(1, v)
+	}
+	// Mass deletion crosses the rebuild threshold.
+	for v := uint64(0); v < 900; v++ {
+		if !fg.DeleteEdge(1, v) {
+			t.Fatalf("delete %d failed", v)
+		}
+	}
+	for v := uint64(900); v < 1000; v++ {
+		if !fg.HasEdge(1, v) {
+			t.Fatalf("survivor %d lost after rebuild", v)
+		}
+	}
+	for v := uint64(0); v < 900; v++ {
+		if fg.HasEdge(1, v) {
+			t.Fatalf("deleted edge %d still answers true", v)
+		}
+	}
+	fg.RebuildFilter()
+	if fg.NumEdges() != 100 || len(fg.Successors(1)) != 100 {
+		t.Fatal("counts wrong after explicit rebuild")
+	}
+	if fg.MemoryUsage() == 0 || fg.NumNodes() != 1 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+// BenchmarkVENDNegativeQueries shows the future-work payoff: negative
+// edge queries on a filtered graph vs the plain structure.
+func BenchmarkVENDNegativeQueries(b *testing.B) {
+	plain := cuckoograph.New()
+	filtered := cuckoograph.NewFiltered()
+	rng := hashutil.NewRNG(5)
+	for i := 0; i < 1<<16; i++ {
+		u, v := rng.Uint64n(1024), rng.Uint64n(1<<20)
+		plain.InsertEdge(u, v)
+		filtered.InsertEdge(u, v)
+	}
+	// Probe pairs that are almost surely absent.
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plain.HasEdge(uint64(i)%1024, 1<<40+uint64(i))
+		}
+	})
+	b.Run("vend-filtered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			filtered.HasEdge(uint64(i)%1024, 1<<40+uint64(i))
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"cuckoograph/internal/stores"
+)
+
+// diamond builds the test graph
+//
+//	1 → 2 → 4
+//	1 → 3 → 4 → 5, plus 2 → 3 and a triangle 6,7,8.
+func diamond() *storeWrap {
+	s := stores.NewCuckooGraph()
+	edges := [][2]uint64{
+		{1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5}, {2, 3},
+		{6, 7}, {7, 8}, {8, 6},
+	}
+	for _, e := range edges {
+		s.InsertEdge(e[0], e[1])
+	}
+	return &storeWrap{s}
+}
+
+type storeWrap struct {
+	s interface {
+		InsertEdge(u, v uint64) bool
+		HasEdge(u, v uint64) bool
+		DeleteEdge(u, v uint64) bool
+		ForEachSuccessor(u uint64, fn func(v uint64) bool)
+		NumEdges() uint64
+		MemoryUsage() uint64
+	}
+}
+
+func TestBFSOrderAndReach(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	for _, e := range [][2]uint64{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5}} {
+		s.InsertEdge(e[0], e[1])
+	}
+	order := BFS(s, 1)
+	if len(order) != 5 {
+		t.Fatalf("BFS reached %d nodes, want 5", len(order))
+	}
+	if order[0] != 1 {
+		t.Fatalf("BFS order starts at %d, want 1", order[0])
+	}
+	pos := map[uint64]int{}
+	for i, u := range order {
+		pos[u] = i
+	}
+	if pos[4] < pos[2] || pos[4] < pos[3] || pos[5] < pos[4] {
+		t.Fatalf("BFS level order violated: %v", order)
+	}
+	if got := BFS(s, 99); len(got) != 1 {
+		t.Fatalf("BFS from isolated root visited %d, want 1", len(got))
+	}
+}
+
+func TestDijkstraDistances(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	for _, e := range [][2]uint64{{1, 2}, {2, 3}, {3, 4}, {1, 4}, {4, 5}} {
+		s.InsertEdge(e[0], e[1])
+	}
+	dist := Dijkstra(s, 1)
+	want := map[uint64]uint64{1: 0, 2: 1, 3: 2, 4: 1, 5: 2}
+	for u, d := range want {
+		if dist[u] != d {
+			t.Fatalf("dist[%d] = %d, want %d", u, dist[u], d)
+		}
+	}
+	if len(dist) != len(want) {
+		t.Fatalf("reached %d nodes, want %d", len(dist), len(want))
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	// Directed 3-cycle 1→2→3→1 gives one triangle through node 1.
+	for _, e := range [][2]uint64{{1, 2}, {2, 3}, {3, 1}} {
+		s.InsertEdge(e[0], e[1])
+	}
+	if got := TriangleCount(s, 1); got != 1 {
+		t.Fatalf("triangles(1) = %d, want 1", got)
+	}
+	if got := TriangleCount(s, 99); got != 0 {
+		t.Fatalf("triangles(isolated) = %d, want 0", got)
+	}
+	s.InsertEdge(1, 3) // second path 1→3→1? (3→1 exists) — no new triangle via 2-hop from 1→3→1? it adds 1→3,3→1 closing pair
+	got := TriangleCount(s, 1)
+	if got < 1 {
+		t.Fatalf("triangles after extra edge = %d, want ≥ 1", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	// SCC {1,2,3}, SCC {4}, SCC {5,6}.
+	for _, e := range [][2]uint64{{1, 2}, {2, 3}, {3, 1}, {3, 4}, {5, 6}, {6, 5}} {
+		s.InsertEdge(e[0], e[1])
+	}
+	comp, n := ConnectedComponents(s)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[1] != comp[2] || comp[2] != comp[3] {
+		t.Fatalf("SCC {1,2,3} split: %v", comp)
+	}
+	if comp[5] != comp[6] {
+		t.Fatalf("SCC {5,6} split: %v", comp)
+	}
+	if comp[4] == comp[1] || comp[4] == comp[5] {
+		t.Fatalf("node 4 merged into another SCC: %v", comp)
+	}
+}
+
+func TestConnectedComponentsDeepChain(t *testing.T) {
+	// A 50k-node path must not blow the stack (iterative Tarjan).
+	s := stores.NewCuckooGraph()
+	for u := uint64(1); u < 50000; u++ {
+		s.InsertEdge(u, u+1)
+	}
+	_, n := ConnectedComponents(s)
+	if n != 50000 {
+		t.Fatalf("components = %d, want 50000 singletons", n)
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	// Star: everyone points at 1; 1 points at 2.
+	for u := uint64(2); u <= 10; u++ {
+		s.InsertEdge(u, 1)
+	}
+	s.InsertEdge(1, 2)
+	pr := PageRank(s, 50)
+	sum := 0.0
+	for _, p := range pr {
+		if p < 0 {
+			t.Fatalf("negative rank: %v", pr)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("ranks sum to %f, want ≈1", sum)
+	}
+	for u := uint64(3); u <= 10; u++ {
+		if pr[1] <= pr[u] {
+			t.Fatalf("hub rank %f not above leaf %d rank %f", pr[1], u, pr[u])
+		}
+	}
+}
+
+func TestBetweennessCenterOfPath(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	// Path 1→2→3: node 2 lies on the only 1→3 shortest path.
+	s.InsertEdge(1, 2)
+	s.InsertEdge(2, 3)
+	bc := Betweenness(s)
+	if bc[2] <= bc[1] || bc[2] <= bc[3] {
+		t.Fatalf("betweenness of middle node not maximal: %v", bc)
+	}
+	if math.Abs(bc[2]-1) > 1e-9 {
+		t.Fatalf("bc[2] = %f, want 1", bc[2])
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	// Complete directed triad on {1,2,3}: every neighbour pair connected.
+	for _, e := range [][2]uint64{{1, 2}, {1, 3}, {2, 1}, {2, 3}, {3, 1}, {3, 2}} {
+		s.InsertEdge(e[0], e[1])
+	}
+	lcc := LocalClustering(s)
+	for u := uint64(1); u <= 3; u++ {
+		if math.Abs(lcc[u]-1) > 1e-9 {
+			t.Fatalf("lcc[%d] = %f, want 1", u, lcc[u])
+		}
+	}
+	// Node 4 with two unconnected neighbours has LCC 0.
+	s.InsertEdge(4, 5)
+	s.InsertEdge(4, 6)
+	lcc = LocalClustering(s)
+	if lcc[4] != 0 {
+		t.Fatalf("lcc[4] = %f, want 0", lcc[4])
+	}
+}
+
+func TestTopDegreeNodes(t *testing.T) {
+	s := stores.NewCuckooGraph()
+	for v := uint64(1); v <= 10; v++ {
+		s.InsertEdge(100, v) // hub out-degree 10
+	}
+	s.InsertEdge(1, 2)
+	top := TopDegreeNodes(s, 2)
+	if len(top) != 2 || top[0] != 100 {
+		t.Fatalf("top = %v, want hub 100 first", top)
+	}
+}
+
+func TestExtractSubgraph(t *testing.T) {
+	src := stores.NewCuckooGraph()
+	for _, e := range [][2]uint64{{1, 2}, {2, 3}, {3, 4}, {4, 1}, {1, 9}} {
+		src.InsertEdge(e[0], e[1])
+	}
+	dst := stores.NewCuckooGraph()
+	ExtractSubgraph(src, []uint64{1, 2, 3}, dst)
+	if !dst.HasEdge(1, 2) || !dst.HasEdge(2, 3) {
+		t.Fatal("in-subgraph edges missing")
+	}
+	if dst.HasEdge(3, 4) || dst.HasEdge(1, 9) {
+		t.Fatal("out-of-subgraph edges leaked")
+	}
+}
+
+// TestAnalyticsAgreeAcrossStores runs every task on every store over the
+// same random graph and checks the results are identical — the paper's
+// premise that only running time differs between schemes.
+func TestAnalyticsAgreeAcrossStores(t *testing.T) {
+	edges := [][2]uint64{}
+	// Deterministic pseudo-random graph.
+	x := uint64(88172645463325252)
+	next := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	for i := 0; i < 400; i++ {
+		edges = append(edges, [2]uint64{next() % 40, next() % 40})
+	}
+	type result struct {
+		bfs   int
+		sssp  int
+		tri   int
+		comps int
+	}
+	var base *result
+	for _, f := range stores.All() {
+		s := f.New()
+		for _, e := range edges {
+			s.InsertEdge(e[0], e[1])
+		}
+		r := &result{
+			bfs:   len(BFS(s, edges[0][0])),
+			sssp:  len(Dijkstra(s, edges[0][0])),
+			tri:   TriangleCount(s, edges[0][0]),
+			comps: 0,
+		}
+		_, r.comps = ConnectedComponents(s)
+		if base == nil {
+			base = r
+			continue
+		}
+		if *r != *base {
+			t.Fatalf("store %s disagrees: %+v vs %+v", f.Name, r, base)
+		}
+	}
+}

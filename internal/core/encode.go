@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot format: a small header (magic, version, variant, edge count)
+// followed by fixed-width little-endian edge records. The format is the
+// basis of the Redis module's save_rdb hook and of the public
+// Save/Load API.
+const (
+	snapMagic   = 0x43474752 // "CGGR"
+	snapVersion = 1
+
+	variantBasic    = 1
+	variantWeighted = 2
+)
+
+// Save writes every edge of the basic graph to w.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, variantBasic, g.NumEdges()); err != nil {
+		return err
+	}
+	var err error
+	g.ForEachNode(func(u uint64) bool {
+		g.ForEachSuccessor(u, func(v uint64) bool {
+			err = writeU64s(bw, u, v)
+			return err == nil
+		})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadGraph reads a snapshot written by Save into a fresh graph with
+// the given configuration.
+func LoadGraph(r io.Reader, cfg Config) (*Graph, error) {
+	br := bufio.NewReader(r)
+	n, err := readHeader(br, variantBasic)
+	if err != nil {
+		return nil, err
+	}
+	g := NewGraph(cfg)
+	for i := uint64(0); i < n; i++ {
+		u, v, err := readEdge(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: edge %d/%d: %w", i, n, err)
+		}
+		g.InsertEdge(u, v)
+	}
+	return g, nil
+}
+
+// Save writes every edge of the weighted graph, with weights, to w.
+func (w *Weighted) Save(dst io.Writer) error {
+	bw := bufio.NewWriter(dst)
+	if err := writeHeader(bw, variantWeighted, w.NumEdges()); err != nil {
+		return err
+	}
+	var err error
+	w.ForEachNode(func(u uint64) bool {
+		w.ForEachSuccessor(u, func(v, weight uint64) bool {
+			err = writeU64s(bw, u, v, weight)
+			return err == nil
+		})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadWeighted reads a snapshot written by Weighted.Save.
+func LoadWeighted(r io.Reader, cfg Config) (*Weighted, error) {
+	br := bufio.NewReader(r)
+	n, err := readHeader(br, variantWeighted)
+	if err != nil {
+		return nil, err
+	}
+	w := NewWeighted(cfg)
+	for i := uint64(0); i < n; i++ {
+		u, v, err := readEdge(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: edge %d/%d: %w", i, n, err)
+		}
+		var weight uint64
+		if err := binary.Read(br, binary.LittleEndian, &weight); err != nil {
+			return nil, fmt.Errorf("core: weight %d/%d: %w", i, n, err)
+		}
+		w.Add(u, v, weight)
+	}
+	return w, nil
+}
+
+func writeHeader(w io.Writer, variant byte, edges uint64) error {
+	var hdr [14]byte
+	binary.LittleEndian.PutUint32(hdr[0:], snapMagic)
+	hdr[4] = snapVersion
+	hdr[5] = variant
+	binary.LittleEndian.PutUint64(hdr[6:], edges)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readHeader(r io.Reader, wantVariant byte) (uint64, error) {
+	var hdr [14]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != snapMagic {
+		return 0, fmt.Errorf("core: not a CuckooGraph snapshot")
+	}
+	if hdr[4] != snapVersion {
+		return 0, fmt.Errorf("core: unsupported snapshot version %d", hdr[4])
+	}
+	if hdr[5] != wantVariant {
+		return 0, fmt.Errorf("core: snapshot variant %d, want %d", hdr[5], wantVariant)
+	}
+	return binary.LittleEndian.Uint64(hdr[6:]), nil
+}
+
+func writeU64s(w io.Writer, vals ...uint64) error {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readEdge(r io.Reader) (u, v uint64, err error) {
+	var buf [16]byte
+	if _, err = io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[0:]), binary.LittleEndian.Uint64(buf[8:]), nil
+}

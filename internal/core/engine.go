@@ -1,0 +1,508 @@
+package core
+
+import "cuckoograph/internal/cuckoo"
+
+// slot is one neighbour record: the end node v plus the variant's
+// per-edge payload (nothing for the basic version, a weight for the
+// extended version, an edge-id list for the multi-edge version).
+type slot[W any] struct {
+	v uint64
+	w W
+}
+
+// part2 is Part 2 of an L-CHT cell (§III-A1). It starts as inline small
+// slots and transforms into a pointer to an S-CHT chain once the node's
+// degree exceeds the inline capacity.
+type part2[W any] struct {
+	inline []slot[W]        // nil once chain is active
+	chain  *cuckoo.Chain[W] // nil while inline
+}
+
+// sdlEntry is one unit of the S-DL: a complete ⟨u,v⟩ pair (§III-A2)
+// plus the variant payload.
+type sdlEntry[W any] struct {
+	u uint64
+	s slot[W]
+}
+
+// ldlEntry is one unit of the L-DL. It mirrors a whole L-CHT cell —
+// u together with its Part 2 — so that a kicked-out u keeps its S-CHT
+// chain without any copying (§III-A2).
+type ldlEntry[W any] struct {
+	u uint64
+	p part2[W]
+}
+
+// engine is the variant-independent CuckooGraph machinery. The exported
+// Graph, WeightedGraph and MultiGraph wrap it with their edge semantics.
+type engine[W any] struct {
+	cfg       Config
+	inlineCap int // 2R for the basic version, R for weighted/multi
+
+	lcht *cuckoo.Chain[part2[W]]
+	ldl  []ldlEntry[W]
+	sdl  []sdlEntry[W]
+
+	nodes uint64
+	edges uint64
+
+	// Retired statistics from collapsed chains (reverse transformation
+	// back to inline slots discards the chain object).
+	schtKicksRetired      uint64
+	schtPlacementsRetired uint64
+
+	seedTick uint64
+}
+
+func newEngine[W any](cfg Config, inlineCap int) *engine[W] {
+	cfg = cfg.Defaults()
+	e := &engine[W]{cfg: cfg, inlineCap: inlineCap}
+	e.lcht = cuckoo.NewChain[part2[W]](cfg.LCHTBase, cfg.chainConfig())
+	return e
+}
+
+// newChainSeed derives a distinct deterministic seed per S-CHT chain.
+func (e *engine[W]) newChainSeed() uint64 {
+	e.seedTick++
+	return e.cfg.Seed*0x9E3779B97F4A7C15 + e.seedTick*0xBF58476D1CE4E5B9
+}
+
+// findPart2 locates u's cell in the L-CHT chain or the L-DL (query
+// Step 1 of §III-A3).
+func (e *engine[W]) findPart2(u uint64) *part2[W] {
+	if p := e.lcht.Ref(u); p != nil {
+		return p
+	}
+	for i := range e.ldl {
+		if e.ldl[i].u == u {
+			return &e.ldl[i].p
+		}
+	}
+	return nil
+}
+
+// locate resolves ⟨u,v⟩ in one pass: it returns u's cell (nil for an
+// unknown u) and a mutable pointer to v's payload wherever the edge
+// lives — inline, in the S-CHT chain, or in the S-DL — or nil if the
+// edge is absent. This fuses query Steps 1 and 2 of §III-A3 so Insert
+// needs a single probe for its duplicate check.
+func (e *engine[W]) locate(u, v uint64) (*part2[W], *W) {
+	p := e.findPart2(u)
+	if p != nil {
+		if p.chain != nil {
+			if w := p.chain.Ref(v); w != nil {
+				return p, w
+			}
+		} else {
+			for i := range p.inline {
+				if p.inline[i].v == v {
+					return p, &p.inline[i].w
+				}
+			}
+		}
+	}
+	for i := range e.sdl {
+		if e.sdl[i].u == u && e.sdl[i].s.v == v {
+			return p, &e.sdl[i].s.w
+		}
+	}
+	return p, nil
+}
+
+// refSlot returns a mutable pointer to ⟨u,v⟩'s payload, or nil.
+func (e *engine[W]) refSlot(u, v uint64) *W {
+	_, w := e.locate(u, v)
+	return w
+}
+
+func (e *engine[W]) hasEdge(u, v uint64) bool { return e.refSlot(u, v) != nil }
+
+// insertEdge adds ⟨u,v,w⟩ unless present, reporting whether it is new.
+// It always succeeds on a new edge: failures cascade into the denylists,
+// and full denylists force transformations.
+func (e *engine[W]) insertEdge(u, v uint64, w W) bool {
+	p, existing := e.locate(u, v)
+	if existing != nil {
+		return false
+	}
+	e.insertAt(p, u, v, w)
+	return true
+}
+
+// insertAt stores a verified-absent edge, reusing the cell pointer from
+// a preceding locate.
+func (e *engine[W]) insertAt(p *part2[W], u, v uint64, w W) {
+	e.edges++
+	if p != nil {
+		e.insertIntoPart2(u, p, slot[W]{v: v, w: w})
+		return
+	}
+	// First neighbour of a brand-new u (insertion Step 2, case ①/②).
+	e.nodes++
+	inline := make([]slot[W], 1, e.inlineCap)
+	inline[0] = slot[W]{v: v, w: w}
+	e.insertCell(u, part2[W]{inline: inline})
+}
+
+// insertNew stores the edge ⟨u,v,w⟩; the caller has verified it is
+// absent (insertion Step 1).
+func (e *engine[W]) insertNew(u, v uint64, w W) {
+	p := e.findPart2(u)
+	e.insertAt(p, u, v, w)
+}
+
+// insertCell places a whole cell (u + Part 2) into the L-CHT, spilling
+// to the L-DL on failure and forcing growth when the L-DL is full.
+func (e *engine[W]) insertCell(u uint64, p part2[W]) {
+	work := []cuckoo.Entry[part2[W]]{{Key: u, Val: p}}
+	for len(work) > 0 {
+		cell := work[len(work)-1]
+		work = work[:len(work)-1]
+		leftovers, grew := e.lcht.Insert(cell.Key, cell.Val)
+		if grew {
+			e.drainLDL()
+		}
+		if len(leftovers) == 0 {
+			continue
+		}
+		if !e.cfg.DisableDenylist && len(e.ldl)+len(leftovers) <= e.cfg.LDLCap {
+			for _, lo := range leftovers {
+				e.ldl = append(e.ldl, ldlEntry[W]{u: lo.Key, p: lo.Val})
+			}
+			continue
+		}
+		// Denylist disabled or full: force an expansion and retry, the
+		// paper's fallback behaviour.
+		for _, s := range e.lcht.Grow() {
+			work = append(work, s)
+		}
+		e.drainLDL()
+		work = append(work, leftovers...)
+	}
+}
+
+// drainLDL re-tries every L-DL resident after an L-CHT expansion.
+func (e *engine[W]) drainLDL() {
+	if len(e.ldl) == 0 {
+		return
+	}
+	// Copy: re-insertion failures append to e.ldl, which must not alias
+	// the entries still being drained.
+	pending := append([]ldlEntry[W](nil), e.ldl...)
+	e.ldl = e.ldl[:0]
+	for _, c := range pending {
+		leftovers, grew := e.lcht.Insert(c.u, c.p)
+		if grew {
+			// A nested growth re-queues what is already drained.
+			e.drainLDL()
+		}
+		for _, lo := range leftovers {
+			e.ldl = append(e.ldl, ldlEntry[W]{u: lo.Key, p: lo.Val})
+		}
+	}
+}
+
+// insertIntoPart2 adds a neighbour slot to an existing cell, applying
+// TRANSFORMATION when the inline slots overflow (§III-A1 step ②).
+func (e *engine[W]) insertIntoPart2(u uint64, p *part2[W], s slot[W]) {
+	if p.chain == nil {
+		if len(p.inline) < e.inlineCap {
+			p.inline = append(p.inline, s)
+			return
+		}
+		// 2R small slots full: merge them into R large slots, enable the
+		// 1st S-CHT and transfer every v into it.
+		cfg := e.cfg.chainConfig()
+		cfg.Seed = e.newChainSeed()
+		p.chain = cuckoo.NewChain[W](e.cfg.SCHTBase, cfg)
+		for _, old := range p.inline {
+			e.chainInsert(u, p.chain, old)
+		}
+		p.inline = nil
+	}
+	e.chainInsert(u, p.chain, s)
+}
+
+// chainInsert inserts one slot into u's S-CHT chain, handling denylist
+// spill and drain-on-expansion.
+func (e *engine[W]) chainInsert(u uint64, c *cuckoo.Chain[W], s slot[W]) {
+	work := []slot[W]{s}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		leftovers, grew := c.Insert(cur.v, cur.w)
+		if grew {
+			e.drainSDLInto(u, c)
+		}
+		if len(leftovers) == 0 {
+			continue
+		}
+		if !e.cfg.DisableDenylist && len(e.sdl)+len(leftovers) <= e.cfg.SDLCap {
+			for _, lo := range leftovers {
+				e.sdl = append(e.sdl, sdlEntry[W]{u: u, s: slot[W]{v: lo.Key, w: lo.Val}})
+			}
+			continue
+		}
+		for _, spill := range c.Grow() {
+			work = append(work, slot[W]{v: spill.Key, w: spill.Val})
+		}
+		e.drainSDLInto(u, c)
+		for _, lo := range leftovers {
+			work = append(work, slot[W]{v: lo.Key, w: lo.Val})
+		}
+	}
+}
+
+// drainSDLInto moves S-DL entries whose u matches the expanding chain
+// into it (§III-A2 step 3: "we insert those v′′ in S-DL whose u′′
+// exactly match ... into the new S-CHT").
+func (e *engine[W]) drainSDLInto(u uint64, c *cuckoo.Chain[W]) {
+	kept := e.sdl[:0]
+	var moved []slot[W]
+	for _, entry := range e.sdl {
+		if entry.u == u {
+			moved = append(moved, entry.s)
+		} else {
+			kept = append(kept, entry)
+		}
+	}
+	e.sdl = kept
+	for _, s := range moved {
+		leftovers, _ := c.Insert(s.v, s.w)
+		for _, lo := range leftovers {
+			e.sdl = append(e.sdl, sdlEntry[W]{u: u, s: slot[W]{v: lo.Key, w: lo.Val}})
+		}
+	}
+}
+
+// deleteEdge removes ⟨u,v⟩ wherever it lives, returning its payload.
+// Reverse transformations may contract the chain or collapse it back to
+// inline slots; an empty cell removes u entirely.
+func (e *engine[W]) deleteEdge(u, v uint64) (W, bool) {
+	var zero W
+	// The pair may be parked in the S-DL.
+	for i := range e.sdl {
+		if e.sdl[i].u == u && e.sdl[i].s.v == v {
+			w := e.sdl[i].s.w
+			e.sdl = append(e.sdl[:i], e.sdl[i+1:]...)
+			e.edges--
+			return w, true
+		}
+	}
+	p := e.findPart2(u)
+	if p == nil {
+		return zero, false
+	}
+	if p.chain != nil {
+		w, ok := p.chain.Lookup(v)
+		if !ok {
+			return zero, false
+		}
+		leftovers, _ := p.chain.Delete(v)
+		for _, lo := range leftovers {
+			e.sdl = append(e.sdl, sdlEntry[W]{u: u, s: slot[W]{v: lo.Key, w: lo.Val}})
+		}
+		e.edges--
+		e.maybeCollapse(u, p)
+		return w, true
+	}
+	for i := range p.inline {
+		if p.inline[i].v == v {
+			w := p.inline[i].w
+			p.inline[i] = p.inline[len(p.inline)-1]
+			p.inline = p.inline[:len(p.inline)-1]
+			e.edges--
+			e.fillInlineFromSDL(u, p)
+			if len(p.inline) == 0 {
+				e.removeNode(u)
+			}
+			return w, true
+		}
+	}
+	return zero, false
+}
+
+// maybeCollapse applies the final step of reverse transformation: when a
+// chain's population fits back into the 2R inline small slots, the chain
+// is dismantled and the cell returns to inline form.
+func (e *engine[W]) maybeCollapse(u uint64, p *part2[W]) {
+	if p.chain == nil || p.chain.Size() > e.inlineCap {
+		return
+	}
+	e.schtKicksRetired += p.chain.Kicks()
+	e.schtPlacementsRetired += p.chain.Placements()
+	entries := p.chain.Drain()
+	p.chain = nil
+	p.inline = make([]slot[W], 0, e.inlineCap)
+	for _, en := range entries {
+		p.inline = append(p.inline, slot[W]{v: en.Key, w: en.Val})
+	}
+	e.fillInlineFromSDL(u, p)
+	if len(p.inline) == 0 {
+		e.removeNode(u)
+	}
+}
+
+// fillInlineFromSDL pulls parked ⟨u,·⟩ pairs back into freed inline
+// slots so no edge is stranded in the S-DL when its cell has room.
+func (e *engine[W]) fillInlineFromSDL(u uint64, p *part2[W]) {
+	if p.chain != nil {
+		return
+	}
+	kept := e.sdl[:0]
+	for _, entry := range e.sdl {
+		if entry.u == u && len(p.inline) < e.inlineCap {
+			p.inline = append(p.inline, entry.s)
+		} else {
+			kept = append(kept, entry)
+		}
+	}
+	e.sdl = kept
+}
+
+// removeNode deletes u's (empty) cell from the L-CHT or L-DL.
+func (e *engine[W]) removeNode(u uint64) {
+	for i := range e.ldl {
+		if e.ldl[i].u == u {
+			e.ldl = append(e.ldl[:i], e.ldl[i+1:]...)
+			e.nodes--
+			return
+		}
+	}
+	leftovers, deleted := e.lcht.Delete(u)
+	for _, lo := range leftovers {
+		e.ldl = append(e.ldl, ldlEntry[W]{u: lo.Key, p: lo.Val})
+	}
+	if deleted {
+		e.nodes--
+	}
+}
+
+// forEachSuccessor visits every stored neighbour of u.
+func (e *engine[W]) forEachSuccessor(u uint64, fn func(v uint64, w *W) bool) {
+	if p := e.findPart2(u); p != nil {
+		if p.chain != nil {
+			stop := false
+			p.chain.ForEach(func(k uint64, w W) bool {
+				w2 := w
+				if !fn(k, &w2) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
+			}
+		} else {
+			for i := range p.inline {
+				if !fn(p.inline[i].v, &p.inline[i].w) {
+					return
+				}
+			}
+		}
+	}
+	for i := range e.sdl {
+		if e.sdl[i].u == u {
+			if !fn(e.sdl[i].s.v, &e.sdl[i].s.w) {
+				return
+			}
+		}
+	}
+}
+
+// forEachNode visits every stored source node u.
+func (e *engine[W]) forEachNode(fn func(u uint64) bool) {
+	stop := false
+	e.lcht.ForEach(func(u uint64, _ part2[W]) bool {
+		if !fn(u) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	for i := range e.ldl {
+		if !fn(e.ldl[i].u) {
+			return
+		}
+	}
+}
+
+// memoryUsage sums structural bytes following the paper's cell layout:
+// every L-CHT cell is 8 B (Part 1) + 2R·8 B (Part 2, small slots or
+// large pointer slots) + 1 B occupancy; S-CHT cells are 8 B per v plus
+// the variant payload; denylists count their entry sizes.
+func (e *engine[W]) memoryUsage(slotPayloadBytes int) uint64 {
+	part2Bytes := 2 * e.cfg.R * 8
+	total := e.lcht.MemoryBytes(part2Bytes)
+	e.lcht.ForEach(func(_ uint64, p part2[W]) bool {
+		if p.chain != nil {
+			total += p.chain.MemoryBytes(slotPayloadBytes)
+		}
+		return true
+	})
+	for i := range e.ldl {
+		total += uint64(8 + part2Bytes)
+		if e.ldl[i].p.chain != nil {
+			total += e.ldl[i].p.chain.MemoryBytes(slotPayloadBytes)
+		}
+	}
+	total += uint64(len(e.sdl)) * uint64(16+slotPayloadBytes)
+	return total
+}
+
+// Stats reports structural counters for the experiments of §IV and §V-B.
+type Stats struct {
+	Nodes, Edges    uint64
+	LCHTTables      int
+	LCHTCells       int
+	LCHTLoadRate    float64
+	LCHTKicks       uint64
+	LCHTPlacements  uint64
+	Chains          int
+	ChainCells      int
+	ChainEntries    int
+	SCHTKicks       uint64
+	SCHTPlacements  uint64
+	LDLLen, SDLLen  int
+	Transformations uint64
+}
+
+func (e *engine[W]) stats() Stats {
+	st := Stats{
+		Nodes:           e.nodes,
+		Edges:           e.edges,
+		LCHTTables:      e.lcht.Tables(),
+		LCHTCells:       e.lcht.Cells(),
+		LCHTLoadRate:    e.lcht.OverallLoadRate(),
+		LCHTKicks:       e.lcht.Kicks(),
+		LCHTPlacements:  e.lcht.Placements(),
+		SCHTKicks:       e.schtKicksRetired,
+		SCHTPlacements:  e.schtPlacementsRetired,
+		LDLLen:          len(e.ldl),
+		SDLLen:          len(e.sdl),
+		Transformations: e.lcht.Transformations(),
+	}
+	visit := func(p *part2[W]) {
+		if p.chain == nil {
+			return
+		}
+		st.Chains++
+		st.ChainCells += p.chain.Cells()
+		st.ChainEntries += p.chain.Size()
+		st.SCHTKicks += p.chain.Kicks()
+		st.SCHTPlacements += p.chain.Placements()
+		st.Transformations += p.chain.Transformations()
+	}
+	e.lcht.ForEach(func(_ uint64, p part2[W]) bool {
+		visit(&p)
+		return true
+	})
+	for i := range e.ldl {
+		visit(&e.ldl[i].p)
+	}
+	return st
+}

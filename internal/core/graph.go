@@ -1,0 +1,133 @@
+package core
+
+// Graph is the basic version of CuckooGraph (§III-A): a directed graph
+// of distinct edges ⟨u,v⟩. Inserting an existing edge is a no-op.
+type Graph struct {
+	e *engine[struct{}]
+}
+
+// NewGraph returns an empty basic CuckooGraph.
+func NewGraph(cfg Config) *Graph {
+	cfg = cfg.Defaults()
+	// Basic version: Part 2 is 2R small slots, each holding one v.
+	return &Graph{e: newEngine[struct{}](cfg, 2*cfg.R)}
+}
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it was newly inserted
+// (insertion Step 1 of §III-A3 first queries for the edge).
+func (g *Graph) InsertEdge(u, v uint64) bool {
+	return g.e.insertEdge(u, v, struct{}{})
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (g *Graph) HasEdge(u, v uint64) bool { return g.e.hasEdge(u, v) }
+
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed. Deletions may
+// trigger reverse transformations (§III-A1).
+func (g *Graph) DeleteEdge(u, v uint64) bool {
+	_, ok := g.e.deleteEdge(u, v)
+	return ok
+}
+
+// ForEachSuccessor calls fn for every successor of u until fn returns
+// false.
+func (g *Graph) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	g.e.forEachSuccessor(u, func(v uint64, _ *struct{}) bool { return fn(v) })
+}
+
+// ForEachNode calls fn for every node with at least one out-edge.
+func (g *Graph) ForEachNode(fn func(u uint64) bool) { g.e.forEachNode(fn) }
+
+// NumEdges returns the number of distinct edges stored.
+func (g *Graph) NumEdges() uint64 { return g.e.edges }
+
+// NumNodes returns the number of distinct source nodes stored.
+func (g *Graph) NumNodes() uint64 { return g.e.nodes }
+
+// MemoryUsage returns the structural bytes of the whole structure.
+func (g *Graph) MemoryUsage() uint64 { return g.e.memoryUsage(0) }
+
+// Stats returns structural counters for experiments.
+func (g *Graph) Stats() Stats { return g.e.stats() }
+
+// Weighted is the extended version of CuckooGraph for streaming
+// scenarios with duplicate edges (§III-B). Each distinct ⟨u,v⟩ carries a
+// weight w; inserting an existing edge increments w, deleting decrements
+// it and removes the edge at zero. Part 2 holds R inline ⟨v,w⟩ slots
+// (two small slots per record).
+type Weighted struct {
+	e *engine[uint64]
+}
+
+// NewWeighted returns an empty weighted CuckooGraph.
+func NewWeighted(cfg Config) *Weighted {
+	cfg = cfg.Defaults()
+	return &Weighted{e: newEngine[uint64](cfg, cfg.R)}
+}
+
+// InsertEdge adds one occurrence of ⟨u,v⟩ and reports whether the edge
+// is new (weight transitioned 0→1).
+func (w *Weighted) InsertEdge(u, v uint64) bool { return w.Add(u, v, 1) }
+
+// Add adds delta occurrences of ⟨u,v⟩, reporting whether the edge is new.
+func (w *Weighted) Add(u, v, delta uint64) bool {
+	cell, existing := w.e.locate(u, v)
+	if existing != nil {
+		*existing += delta
+		return false
+	}
+	w.e.insertAt(cell, u, v, delta)
+	return true
+}
+
+// HasEdge reports whether ⟨u,v⟩ has weight ≥ 1.
+func (w *Weighted) HasEdge(u, v uint64) bool { return w.e.hasEdge(u, v) }
+
+// Weight returns the weight of ⟨u,v⟩ and whether it exists.
+func (w *Weighted) Weight(u, v uint64) (uint64, bool) {
+	if p := w.e.refSlot(u, v); p != nil {
+		return *p, true
+	}
+	return 0, false
+}
+
+// DeleteEdge removes one occurrence of ⟨u,v⟩; the edge disappears when
+// its weight reaches zero. It reports whether the edge existed.
+func (w *Weighted) DeleteEdge(u, v uint64) bool {
+	p := w.e.refSlot(u, v)
+	if p == nil {
+		return false
+	}
+	if *p > 1 {
+		*p--
+		return true
+	}
+	_, ok := w.e.deleteEdge(u, v)
+	return ok
+}
+
+// DeleteAll removes the edge regardless of weight.
+func (w *Weighted) DeleteAll(u, v uint64) bool {
+	_, ok := w.e.deleteEdge(u, v)
+	return ok
+}
+
+// ForEachSuccessor calls fn with every successor of u and its weight.
+func (w *Weighted) ForEachSuccessor(u uint64, fn func(v, weight uint64) bool) {
+	w.e.forEachSuccessor(u, func(v uint64, p *uint64) bool { return fn(v, *p) })
+}
+
+// ForEachNode calls fn for every node with at least one out-edge.
+func (w *Weighted) ForEachNode(fn func(u uint64) bool) { w.e.forEachNode(fn) }
+
+// NumEdges returns the number of distinct edges.
+func (w *Weighted) NumEdges() uint64 { return w.e.edges }
+
+// NumNodes returns the number of distinct source nodes.
+func (w *Weighted) NumNodes() uint64 { return w.e.nodes }
+
+// MemoryUsage returns the structural bytes of the whole structure.
+func (w *Weighted) MemoryUsage() uint64 { return w.e.memoryUsage(8) }
+
+// Stats returns structural counters for experiments.
+func (w *Weighted) Stats() Stats { return w.e.stats() }

@@ -1,0 +1,328 @@
+package cuckoo
+
+// Chain is a sequence of cuckoo tables managed by the paper's
+// TRANSFORMATION technique (§III-A1, Table II). The first table ("1st
+// S-CHT") is the largest; later tables are enabled as the loading rate of
+// the active (newest) table reaches G; when R tables exist and the last
+// fills up, all tables merge into a doubled first table plus a fresh
+// second. Reverse transformation contracts the chain as deletions bring
+// the overall loading rate below Λ.
+//
+// A Chain backs both every per-node S-CHT chain and the L-CHT itself.
+type Chain[P any] struct {
+	cfg    Config
+	base   int // n: the length of the 1st S-CHT at state 0
+	tables []*Table[P]
+	seed   uint64
+	grows  int // number of Grow transformations applied (Table II row)
+
+	kicksRetired  uint64 // kicks recorded in tables since merged or removed
+	placements    uint64 // successful cell placements, incl. re-homing moves
+	transformBeat uint64 // Grow + reverse transformations, for stats
+}
+
+// NewChain returns a chain holding a single table of length base.
+func NewChain[P any](base int, cfg Config) *Chain[P] {
+	cfg = cfg.Defaults()
+	if base < 2 {
+		base = 2
+	}
+	if base%2 != 0 {
+		base++
+	}
+	c := &Chain[P]{cfg: cfg, base: base, seed: cfg.Seed}
+	c.tables = []*Table[P]{c.newTable(base)}
+	return c
+}
+
+func (c *Chain[P]) newTable(length int) *Table[P] {
+	// Give every table a distinct deterministic seed so merged tables
+	// re-randomise their hash functions, as cuckoo rebuilds require.
+	c.seed = c.seed*6364136223846793005 + 1442695040888963407
+	cfg := c.cfg
+	cfg.Seed = c.seed
+	return NewTable[P](length, cfg)
+}
+
+// Tables returns the number of tables currently in the chain.
+func (c *Chain[P]) Tables() int { return len(c.tables) }
+
+// Lengths returns the lengths of the tables, first to last. The sequence
+// follows Table II of the paper, which the test suite verifies.
+func (c *Chain[P]) Lengths() []int {
+	out := make([]int, len(c.tables))
+	for i, t := range c.tables {
+		out[i] = t.Len()
+	}
+	return out
+}
+
+// Grows returns how many Grow transformations have been applied; it is
+// the row index of Table II when R=3.
+func (c *Chain[P]) Grows() int { return c.grows }
+
+// Size returns the total number of stored entries.
+func (c *Chain[P]) Size() int {
+	n := 0
+	for _, t := range c.tables {
+		n += t.Size()
+	}
+	return n
+}
+
+// Cells returns the total cells across the chain.
+func (c *Chain[P]) Cells() int {
+	n := 0
+	for _, t := range c.tables {
+		n += t.Cells()
+	}
+	return n
+}
+
+// OverallLoadRate is the chain-wide LR used by reverse transformation.
+func (c *Chain[P]) OverallLoadRate() float64 {
+	return float64(c.Size()) / float64(c.Cells())
+}
+
+// Kicks returns cumulative relocation attempts over the chain's whole
+// lifetime, including tables that have since been merged away. Together
+// with Placements it yields the paper's "average number of insertions
+// per item" measurement (§IV-A).
+func (c *Chain[P]) Kicks() uint64 {
+	n := c.kicksRetired
+	for _, t := range c.tables {
+		n += t.Kicks()
+	}
+	return n
+}
+
+// Placements returns the number of successful cell placements performed,
+// including the internal moves of merges and contractions.
+func (c *Chain[P]) Placements() uint64 { return c.placements }
+
+// Transformations returns how many forward or reverse transformations
+// the chain has performed.
+func (c *Chain[P]) Transformations() uint64 { return c.transformBeat }
+
+// Lookup probes every table in the chain (at most R tables, two buckets
+// each — the bounded memory-access guarantee of §V-D's analysis).
+func (c *Chain[P]) Lookup(key uint64) (P, bool) {
+	for _, t := range c.tables {
+		if v, ok := t.Lookup(key); ok {
+			return v, true
+		}
+	}
+	var zero P
+	return zero, false
+}
+
+// Ref returns a mutable pointer to key's payload, or nil.
+func (c *Chain[P]) Ref(key uint64) *P {
+	for _, t := range c.tables {
+		if p := t.Ref(key); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// Contains reports whether key is stored anywhere in the chain.
+func (c *Chain[P]) Contains(key uint64) bool {
+	for _, t := range c.tables {
+		if t.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsGrow reports whether the active table's LR has reached G, i.e. a
+// Grow transformation should run before the next insertion (§III-A1:
+// "if the growing l causes the LR of the S-CHT to reach the preset
+// threshold G before the current v arrives").
+func (c *Chain[P]) NeedsGrow() bool {
+	active := c.tables[len(c.tables)-1]
+	return active.LoadRate() >= c.cfg.G
+}
+
+// Grow applies one step of the transformation rule:
+//
+//   - fewer than R tables: enable the next table. Its length is half the
+//     first table's length when only one table exists, otherwise it
+//     matches the most recently enabled table (Table II: n → n,n/2 →
+//     n,n/2,n/2 and 2n,n → 2n,n,n).
+//   - R tables: merge everything into a new first table of twice the old
+//     first length and enable a fresh second table of the old first
+//     length (Table II: n,n/2,n/2 → 2n,n).
+//
+// Entries that cannot be re-homed during a merge are returned as
+// leftovers for the caller's denylist.
+func (c *Chain[P]) Grow() (leftovers []Entry[P]) {
+	c.grows++
+	c.transformBeat++
+	if len(c.tables) < c.cfg.R {
+		var length int
+		if len(c.tables) == 1 {
+			length = c.tables[0].Len() / 2
+		} else {
+			length = c.tables[len(c.tables)-1].Len()
+		}
+		c.tables = append(c.tables, c.newTable(length))
+		return nil
+	}
+	merged := c.newTable(c.tables[0].Len() * 2)
+	for _, t := range c.tables {
+		c.kicksRetired += t.Kicks()
+		for _, e := range t.Drain() {
+			if lo, ok := merged.Insert(e.Key, e.Val); !ok {
+				leftovers = append(leftovers, lo)
+			} else {
+				c.placements++
+			}
+		}
+	}
+	c.tables = []*Table[P]{merged, c.newTable(merged.Len() / 2)}
+	return leftovers
+}
+
+// Insert stores ⟨key,val⟩, growing the chain first if the active table
+// is at threshold. grew reports whether a transformation ran (the caller
+// drains its denylist into the chain when it did). Every entry left
+// homeless — whether the argument pair after kicking, or spill from a
+// merge — is returned in leftovers for the caller's denylist; an empty
+// slice means complete success. The caller must ensure key is not
+// already present in the chain.
+func (c *Chain[P]) Insert(key uint64, val P) (leftovers []Entry[P], grew bool) {
+	if c.NeedsGrow() {
+		leftovers = c.Grow()
+		grew = true
+	}
+	active := c.tables[len(c.tables)-1]
+	if lo, ok := active.Insert(key, val); !ok {
+		leftovers = append(leftovers, lo)
+	} else {
+		c.placements++
+	}
+	return leftovers, grew
+}
+
+// Delete removes key and applies reverse transformation (§III-A1) when
+// the overall LR drops below Λ: with two or more tables the table that
+// held the key is removed and its residents transferred to the others;
+// with a single table longer than the base length, the table is rebuilt
+// at half length. Leftovers that cannot be re-homed are returned for the
+// caller's denylist.
+func (c *Chain[P]) Delete(key uint64) (leftovers []Entry[P], deleted bool) {
+	idx := -1
+	for i, t := range c.tables {
+		if t.Delete(key) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	if c.OverallLoadRate() >= c.cfg.Lambda {
+		return nil, true
+	}
+	if len(c.tables) > 1 {
+		victim := c.tables[idx]
+		// Contract only if the surviving tables can absorb the victim's
+		// residents below the expansion threshold; otherwise deleting the
+		// table would immediately re-trigger growth (thrash) and flood
+		// the caller's denylist.
+		otherCells := c.Cells() - victim.Cells()
+		if float64(c.Size()) > float64(otherCells)*c.cfg.G {
+			return nil, true
+		}
+		c.transformBeat++
+		c.tables = append(c.tables[:idx], c.tables[idx+1:]...)
+		c.kicksRetired += victim.Kicks()
+		for _, e := range victim.Drain() {
+			if lo, ok := c.rehome(e); !ok {
+				leftovers = append(leftovers, lo)
+			}
+		}
+		return leftovers, true
+	}
+	if c.tables[0].Len() > c.base {
+		old := c.tables[0]
+		// Same guard: the halved table must hold everything below G.
+		if float64(old.Size()) > float64(old.Cells())/2*c.cfg.G {
+			return nil, true
+		}
+		c.transformBeat++
+		c.tables[0] = c.newTable(old.Len() / 2)
+		c.kicksRetired += old.Kicks()
+		for _, e := range old.Drain() {
+			if lo, ok := c.rehome(e); !ok {
+				leftovers = append(leftovers, lo)
+			}
+		}
+	}
+	return leftovers, true
+}
+
+// rehome tries to place e in any table of the chain, emptiest first.
+// When an insert fails, the table has still absorbed the item and kicked
+// out a different victim, so the victim becomes the entry to place next;
+// on total failure that final homeless entry is returned.
+func (c *Chain[P]) rehome(e Entry[P]) (Entry[P], bool) {
+	best := -1
+	for i, t := range c.tables {
+		if best < 0 || t.LoadRate() < c.tables[best].LoadRate() {
+			best = i
+		}
+	}
+	cur := e
+	for off := 0; off < len(c.tables); off++ {
+		t := c.tables[(best+off)%len(c.tables)]
+		lo, ok := t.Insert(cur.Key, cur.Val)
+		if ok {
+			c.placements++
+			return Entry[P]{}, true
+		}
+		cur = lo
+	}
+	return cur, false
+}
+
+// ForEach calls fn for every entry in the chain until fn returns false.
+func (c *Chain[P]) ForEach(fn func(key uint64, val P) bool) {
+	for _, t := range c.tables {
+		stop := false
+		t.ForEach(func(k uint64, v P) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Drain removes and returns every entry in the chain, resetting it to a
+// single base-length table.
+func (c *Chain[P]) Drain() []Entry[P] {
+	var out []Entry[P]
+	for _, t := range c.tables {
+		c.kicksRetired += t.Kicks()
+		out = append(out, t.Drain()...)
+	}
+	c.tables = []*Table[P]{c.newTable(c.base)}
+	c.grows = 0
+	return out
+}
+
+// MemoryBytes sums the structural bytes of all tables in the chain.
+func (c *Chain[P]) MemoryBytes(payloadBytes int) uint64 {
+	var n uint64
+	for _, t := range c.tables {
+		n += t.MemoryBytes(payloadBytes)
+	}
+	return n + uint64(len(c.tables))*8 // one pointer word per table
+}

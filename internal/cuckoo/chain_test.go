@@ -1,0 +1,195 @@
+package cuckoo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestChainTransformationRule verifies Table II of the paper: with R=3
+// and base length n, successive Grow transformations walk the length
+// sequence [n] → [n,n/2] → [n,n/2,n/2] → [2n,n] → [2n,n,n] → [4n,2n] →
+// [4n,2n,2n] → [8n,4n] → …
+func TestChainTransformationRule(t *testing.T) {
+	const n = 8
+	c := NewChain[struct{}](n, Config{R: 3})
+	want := [][]int{
+		{n},                   // state 0
+		{n, n / 2},            // state 1
+		{n, n / 2, n / 2},     // state 2
+		{2 * n, n},            // state 3
+		{2 * n, n, n},         // state 4
+		{4 * n, 2 * n},        // state 5
+		{4 * n, 2 * n, 2 * n}, // state 6
+		{8 * n, 4 * n},        // state 7
+		{8 * n, 4 * n, 4 * n}, // state 8
+		{16 * n, 8 * n},       // state 9
+	}
+	for state, lens := range want {
+		if got := c.Lengths(); !reflect.DeepEqual(got, lens) {
+			t.Fatalf("state %d: lengths %v, want %v", state, got, lens)
+		}
+		if c.Grows() != state {
+			t.Fatalf("state %d: Grows() = %d", state, c.Grows())
+		}
+		c.Grow()
+	}
+}
+
+// TestChainGrowConservation checks that merging never loses or
+// duplicates items.
+func TestChainGrowConservation(t *testing.T) {
+	c := NewChain[uint64](8, Config{R: 3})
+	inserted := map[uint64]bool{}
+	var key uint64
+	for c.Grows() < 6 { // push through two merges
+		key++
+		if lo, _ := c.Insert(key, key); len(lo) != 0 {
+			t.Fatalf("insert %d failed (leftovers %v)", key, lo)
+		}
+		inserted[key] = true
+	}
+	if c.Size() != len(inserted) {
+		t.Fatalf("size %d, want %d", c.Size(), len(inserted))
+	}
+	seen := map[uint64]int{}
+	c.ForEach(func(k, v uint64) bool {
+		if k != v {
+			t.Fatalf("payload corrupted: key %d val %d", k, v)
+		}
+		seen[k]++
+		return true
+	})
+	for k := range inserted {
+		if seen[k] != 1 {
+			t.Fatalf("key %d seen %d times", k, seen[k])
+		}
+	}
+}
+
+// TestChainInsertGrowsAtThreshold confirms a Grow happens exactly when
+// the active table reaches G.
+func TestChainInsertGrowsAtThreshold(t *testing.T) {
+	c := NewChain[struct{}](8, Config{G: 0.5, R: 3})
+	grewAt := -1
+	for i := 1; i <= 200; i++ {
+		lo, grew := c.Insert(uint64(i), struct{}{})
+		if len(lo) != 0 {
+			t.Fatalf("insert %d failed", i)
+		}
+		if grew && grewAt < 0 {
+			grewAt = i
+		}
+	}
+	if grewAt < 0 {
+		t.Fatal("chain never grew over 200 inserts with G=0.5")
+	}
+	// The first table has (8+4)*8 = 96 cells; G=0.5 ⇒ growth at 48 stored.
+	if grewAt != 49 {
+		t.Fatalf("first growth at insert %d, want 49", grewAt)
+	}
+}
+
+// TestChainReverseTransformation exercises contraction: deletions that
+// drop the overall LR below Λ must shrink the chain, and after shrinking
+// every surviving item must still be found.
+func TestChainReverseTransformation(t *testing.T) {
+	c := NewChain[uint64](8, Config{R: 3, Lambda: 0.5, G: 0.9})
+	const total = 600
+	for i := uint64(1); i <= total; i++ {
+		if lo, _ := c.Insert(i, i); len(lo) != 0 {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	tablesBefore := c.Tables()
+	cellsBefore := c.Cells()
+	lost := map[uint64]bool{} // keys evicted as contraction leftovers
+	for i := uint64(1); i <= total-20; i++ {
+		lo, deleted := c.Delete(i)
+		if !deleted && !lost[i] {
+			t.Fatalf("delete %d failed", i)
+		}
+		for _, e := range lo {
+			lost[e.Key] = true
+		}
+	}
+	if c.Cells() >= cellsBefore {
+		t.Fatalf("cells did not shrink: %d → %d (tables %d → %d)",
+			cellsBefore, c.Cells(), tablesBefore, c.Tables())
+	}
+	survivors := 0
+	for i := uint64(total - 19); i <= total; i++ {
+		if c.Contains(i) {
+			survivors++
+		} else if !lost[i] {
+			t.Fatalf("surviving key %d lost after contraction", i)
+		}
+	}
+	if c.Size() != survivors {
+		t.Fatalf("size %d ≠ %d surviving keys", c.Size(), survivors)
+	}
+}
+
+func TestChainDeleteAbsent(t *testing.T) {
+	c := NewChain[uint64](8, Config{})
+	if _, deleted := c.Delete(42); deleted {
+		t.Fatal("delete of absent key reported true")
+	}
+}
+
+func TestChainDrainResets(t *testing.T) {
+	c := NewChain[uint64](8, Config{R: 3})
+	for i := uint64(1); i <= 300; i++ {
+		c.Insert(i, i)
+	}
+	out := c.Drain()
+	if len(out) != 300 {
+		t.Fatalf("drained %d entries, want 300", len(out))
+	}
+	if c.Size() != 0 || c.Tables() != 1 || c.Lengths()[0] != 8 {
+		t.Fatalf("chain not reset: size %d tables %d lengths %v",
+			c.Size(), c.Tables(), c.Lengths())
+	}
+}
+
+// TestChainQuickModel drives the chain against a map model through mixed
+// insert/delete/lookup streams, covering growth and contraction.
+func TestChainQuickModel(t *testing.T) {
+	f := func(seed uint64, ops []uint16) bool {
+		c := NewChain[uint64](4, Config{Seed: seed | 1, G: 0.8, Lambda: 0.4})
+		model := map[uint64]bool{}
+		lost := map[uint64]bool{} // keys the chain reported as leftovers
+		for i, op := range ops {
+			key := uint64(op%211) + 1
+			switch i % 3 {
+			case 0:
+				if !model[key] && !lost[key] {
+					model[key] = true
+					lo, _ := c.Insert(key, key)
+					for _, e := range lo {
+						lost[e.Key] = true
+						delete(model, e.Key)
+					}
+				}
+			case 1:
+				lo, deleted := c.Delete(key)
+				if deleted != model[key] {
+					return false
+				}
+				delete(model, key)
+				for _, e := range lo {
+					lost[e.Key] = true
+					delete(model, e.Key)
+				}
+			default:
+				if c.Contains(key) != model[key] {
+					return false
+				}
+			}
+		}
+		return c.Size() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

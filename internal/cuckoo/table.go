@@ -1,0 +1,246 @@
+// Package cuckoo implements the cuckoo-hash building blocks of
+// CuckooGraph: a d-cell-per-bucket cuckoo table with the paper's 2:1
+// bucket-array ratio (§V-A), and the TRANSFORMATION chain that grows and
+// shrinks a sequence of such tables by the Table II rule (§III-A1).
+//
+// The table is generic over its payload so the same machinery backs both
+// the L-CHT (payload: a cell's Part 2) and the S-CHTs (payload: a weight
+// or edge list).
+package cuckoo
+
+import "cuckoograph/internal/hashutil"
+
+// Config carries the tuning parameters shared by every table in a chain.
+// Zero fields are replaced by the paper's defaults (§V-B).
+type Config struct {
+	D        int     // cells per bucket (paper default 8)
+	MaxKicks int     // T, maximum kick loops before an insertion fails (250)
+	G        float64 // loading-rate threshold that triggers expansion (0.9)
+	Lambda   float64 // overall loading rate that triggers contraction (0.5)
+	R        int     // maximum tables in a chain / large slots per cell (3)
+	Seed     uint64  // PRNG seed for hash seeds and random evictions
+}
+
+// Defaults returns cfg with zero fields replaced by the paper defaults.
+func (cfg Config) Defaults() Config {
+	if cfg.D == 0 {
+		cfg.D = 8
+	}
+	if cfg.MaxKicks == 0 {
+		cfg.MaxKicks = 250
+	}
+	if cfg.G == 0 {
+		cfg.G = 0.9
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 0.5
+	}
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x9E3779B97F4A7C15
+	}
+	return cfg
+}
+
+// Entry is a key/payload pair returned by drain and iteration helpers.
+type Entry[P any] struct {
+	Key uint64
+	Val P
+}
+
+// Table is one cuckoo hash table: two bucket arrays with a 2:1 bucket
+// count ratio, each bucket holding d cells. The table's "length" in the
+// paper's sense is the bucket count of the larger array.
+type Table[P any] struct {
+	d        int
+	maxKicks int
+
+	m1, m2 int // bucket counts of array 1 and array 2 (m1 = 2*m2)
+
+	seed1, seed2 uint32
+
+	// Flat cell storage: arrays 1 and 2 concatenated. Cell c of bucket b
+	// in array 1 lives at b*d+c; array 2 starts at m1*d.
+	keys []uint64
+	vals []P
+	occ  []bool
+
+	size  int
+	rng   *hashutil.RNG
+	kicks uint64 // total relocation attempts, for the §IV measurement
+}
+
+// NewTable returns a table of the given length (buckets in the larger
+// array; minimum 2, rounded up to even so m2 = length/2 ≥ 1).
+func NewTable[P any](length int, cfg Config) *Table[P] {
+	cfg = cfg.Defaults()
+	if length < 2 {
+		length = 2
+	}
+	if length%2 != 0 {
+		length++
+	}
+	rng := hashutil.NewRNG(cfg.Seed)
+	t := &Table[P]{
+		d:        cfg.D,
+		maxKicks: cfg.MaxKicks,
+		m1:       length,
+		m2:       length / 2,
+		seed1:    rng.Uint32() | 1,
+		seed2:    rng.Uint32() | 1,
+		rng:      rng,
+	}
+	cells := (t.m1 + t.m2) * t.d
+	t.keys = make([]uint64, cells)
+	t.vals = make([]P, cells)
+	t.occ = make([]bool, cells)
+	return t
+}
+
+// Len returns the paper's table length (buckets in the larger array).
+func (t *Table[P]) Len() int { return t.m1 }
+
+// Cells returns the total number of cells.
+func (t *Table[P]) Cells() int { return (t.m1 + t.m2) * t.d }
+
+// Size returns the number of occupied cells.
+func (t *Table[P]) Size() int { return t.size }
+
+// LoadRate returns size/cells, the LR of §III-A1.
+func (t *Table[P]) LoadRate() float64 {
+	return float64(t.size) / float64(t.Cells())
+}
+
+// Kicks returns the cumulative relocation attempts since creation.
+func (t *Table[P]) Kicks() uint64 { return t.kicks }
+
+// bucketRange returns the [start,end) cell indexes of key's candidate
+// bucket in the given array (1 or 2). Bucket selection uses the
+// multiply-shift range reduction (h·m >> 32), cheaper than a modulo on
+// the hot path and equally uniform for a 32-bit hash.
+func (t *Table[P]) bucketRange(key uint64, array int) (int, int) {
+	if array == 1 {
+		b := int(uint64(hashutil.Hash64(key, t.seed1)) * uint64(t.m1) >> 32)
+		start := b * t.d
+		return start, start + t.d
+	}
+	b := int(uint64(hashutil.Hash64(key, t.seed2)) * uint64(t.m2) >> 32)
+	start := t.m1*t.d + b*t.d
+	return start, start + t.d
+}
+
+// find returns the cell index of key, or -1.
+func (t *Table[P]) find(key uint64) int {
+	for array := 1; array <= 2; array++ {
+		start, end := t.bucketRange(key, array)
+		keys := t.keys[start:end]
+		occ := t.occ[start:end]
+		for i := range keys {
+			if keys[i] == key && occ[i] {
+				return start + i
+			}
+		}
+	}
+	return -1
+}
+
+// Lookup returns the payload stored under key.
+func (t *Table[P]) Lookup(key uint64) (P, bool) {
+	if i := t.find(key); i >= 0 {
+		return t.vals[i], true
+	}
+	var zero P
+	return zero, false
+}
+
+// Ref returns a pointer to key's payload so callers can mutate it in
+// place (used by the weighted version to bump w without a second probe).
+func (t *Table[P]) Ref(key uint64) *P {
+	if i := t.find(key); i >= 0 {
+		return &t.vals[i]
+	}
+	return nil
+}
+
+// Contains reports whether key is stored.
+func (t *Table[P]) Contains(key uint64) bool { return t.find(key) >= 0 }
+
+// Insert stores ⟨key,val⟩, kicking residents per the cuckoo discipline
+// for at most MaxKicks rounds. On success ok is true. On failure ok is
+// false and the returned entry is the item left without a home (which,
+// after kicking, is generally NOT the argument pair); the caller is
+// expected to park it in a denylist (§III-A2). The caller must ensure
+// key is not already present.
+func (t *Table[P]) Insert(key uint64, val P) (leftover Entry[P], ok bool) {
+	curKey, curVal := key, val
+	array := 1
+	for kick := 0; kick <= t.maxKicks; kick++ {
+		// Try both candidate buckets for an empty cell first.
+		for a := 1; a <= 2; a++ {
+			start, end := t.bucketRange(curKey, a)
+			for i := start; i < end; i++ {
+				if !t.occ[i] {
+					t.keys[i], t.vals[i], t.occ[i] = curKey, curVal, true
+					t.size++
+					return Entry[P]{}, true
+				}
+			}
+		}
+		if kick == t.maxKicks {
+			break
+		}
+		// Both buckets full: evict a random resident from the bucket in
+		// the current array and continue with the victim in the other.
+		start, end := t.bucketRange(curKey, array)
+		victim := start + t.rng.Intn(end-start)
+		t.keys[victim], curKey = curKey, t.keys[victim]
+		t.vals[victim], curVal = curVal, t.vals[victim]
+		t.kicks++
+		array = 3 - array
+	}
+	return Entry[P]{Key: curKey, Val: curVal}, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table[P]) Delete(key uint64) bool {
+	if i := t.find(key); i >= 0 {
+		var zero P
+		t.keys[i], t.vals[i], t.occ[i] = 0, zero, false
+		t.size--
+		return true
+	}
+	return false
+}
+
+// ForEach calls fn for every stored entry until fn returns false.
+func (t *Table[P]) ForEach(fn func(key uint64, val P) bool) {
+	for i, o := range t.occ {
+		if o && !fn(t.keys[i], t.vals[i]) {
+			return
+		}
+	}
+}
+
+// Drain removes and returns every stored entry.
+func (t *Table[P]) Drain() []Entry[P] {
+	out := make([]Entry[P], 0, t.size)
+	for i, o := range t.occ {
+		if o {
+			out = append(out, Entry[P]{Key: t.keys[i], Val: t.vals[i]})
+			var zero P
+			t.keys[i], t.vals[i], t.occ[i] = 0, zero, false
+		}
+	}
+	t.size = 0
+	return out
+}
+
+// MemoryBytes returns the structural bytes of the table assuming
+// payloadBytes per payload: 8 B key + payload + 1 B occupancy per cell,
+// plus the fixed header words.
+func (t *Table[P]) MemoryBytes(payloadBytes int) uint64 {
+	perCell := uint64(8 + payloadBytes + 1)
+	return uint64(t.Cells())*perCell + 64
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 7 {
+		t.Fatalf("%d specs, want 7 (Table IV)", len(specs))
+	}
+	want := []string{"CAIDA", "NotreDame", "StackOverflow", "WikiTalk", "Weibo", "DenseGraph", "SparseGraph"}
+	for i, name := range want {
+		if specs[i].Name != name {
+			t.Fatalf("spec %d = %s, want %s", i, specs[i].Name, name)
+		}
+	}
+	if _, ok := ByName("CAIDA"); !ok {
+		t.Fatal("ByName(CAIDA) missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) found")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByName("CAIDA")
+	a := Generate(spec, 512, 7)
+	b := Generate(spec, 512, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	c := Generate(spec, 512, 8)
+	same := 0
+	for i := range a {
+		if i < len(c) && a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestShapesMatchTableIV checks each scaled stream preserves its
+// dataset's qualitative shape: duplication ratio, degree skew, density.
+func TestShapesMatchTableIV(t *testing.T) {
+	const scale = 256
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			stream := Generate(spec, scale, 42)
+			st := Measure(spec.Name, spec.Weighted, stream)
+			if st.Edges == 0 || st.Nodes == 0 {
+				t.Fatal("empty stream")
+			}
+			wantDupRatio := float64(spec.Stream) / float64(spec.Distinct)
+			gotDupRatio := float64(st.Edges) / float64(st.Dedup)
+			if wantDupRatio > 1.5 && gotDupRatio < wantDupRatio/2 {
+				t.Fatalf("duplication ratio %.2f, paper %.2f", gotDupRatio, wantDupRatio)
+			}
+			if !spec.Weighted && st.Edges != st.Dedup {
+				t.Fatalf("unweighted dataset has duplicates: %d vs %d", st.Edges, st.Dedup)
+			}
+			switch {
+			case spec.Dense:
+				if st.Density < 0.5 {
+					t.Fatalf("DenseGraph density %.3f, want ≈0.9", st.Density)
+				}
+			case spec.RegularDeg > 0:
+				if st.MaxDeg != uint64(spec.RegularDeg) {
+					t.Fatalf("SparseGraph max degree %d, want %d", st.MaxDeg, spec.RegularDeg)
+				}
+			default:
+				// Power-law shape: max degree far above average.
+				if float64(st.MaxDeg) < st.AvgDeg*5 {
+					t.Fatalf("%s: max degree %d not skewed above avg %.2f",
+						spec.Name, st.MaxDeg, st.AvgDeg)
+				}
+			}
+		})
+	}
+}
+
+func TestDedup(t *testing.T) {
+	stream := []Edge{{1, 2}, {1, 2}, {3, 4}, {1, 2}, {3, 4}}
+	d := Dedup(stream)
+	if len(d) != 2 || d[0] != (Edge{1, 2}) || d[1] != (Edge{3, 4}) {
+		t.Fatalf("dedup = %v", d)
+	}
+}
+
+func TestPowApprox(t *testing.T) {
+	cases := []struct{ x, k float64 }{
+		{0.5, 2}, {0.9, 3}, {0.3, 4}, {0.7, 3.5}, {0.2, 5}, {0.8, 1},
+	}
+	for _, c := range cases {
+		got := pow(c.x, c.k)
+		want := math.Pow(c.x, c.k)
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("pow(%f,%f) = %f, want %f", c.x, c.k, got, want)
+		}
+	}
+}
+
+func TestSqrtApprox(t *testing.T) {
+	for _, x := range []float64{0.25, 1, 2, 100, 1e6} {
+		if got, want := sqrt(x), math.Sqrt(x); math.Abs(got-want) > 1e-6*want+1e-12 {
+			t.Fatalf("sqrt(%f) = %f, want %f", x, got, want)
+		}
+	}
+	if sqrt(0) != 0 || sqrt(-1) != 0 {
+		t.Fatal("sqrt edge cases")
+	}
+}
+
+func TestGenerateScalesDown(t *testing.T) {
+	spec, _ := ByName("NotreDame")
+	big := Generate(spec, 64, 1)
+	small := Generate(spec, 512, 1)
+	if len(small) >= len(big) {
+		t.Fatalf("scale 512 stream (%d) not smaller than scale 64 (%d)", len(small), len(big))
+	}
+}

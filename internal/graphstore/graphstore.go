@@ -1,0 +1,72 @@
+// Package graphstore defines the interfaces every graph storage scheme in
+// this repository implements. CuckooGraph and all baseline competitors
+// (LiveGraph, Sortledton, WBI, Spruce, adjacency list, PCSR) satisfy
+// Store, so the analytics and benchmark harnesses treat them uniformly.
+package graphstore
+
+// NodeID identifies a graph node. The paper uses 8-byte identifiers.
+type NodeID = uint64
+
+// Store is a directed dynamic graph holding distinct edges ⟨u,v⟩.
+type Store interface {
+	// InsertEdge adds the edge ⟨u,v⟩. It reports whether the edge was
+	// newly inserted (false if it already existed).
+	InsertEdge(u, v NodeID) bool
+
+	// HasEdge reports whether the edge ⟨u,v⟩ is stored.
+	HasEdge(u, v NodeID) bool
+
+	// DeleteEdge removes the edge ⟨u,v⟩, reporting whether it existed.
+	DeleteEdge(u, v NodeID) bool
+
+	// ForEachSuccessor calls fn for every successor v of u until fn
+	// returns false. Order is unspecified.
+	ForEachSuccessor(u NodeID, fn func(v NodeID) bool)
+
+	// NumEdges returns the number of distinct edges stored.
+	NumEdges() uint64
+
+	// MemoryUsage returns the structural bytes held by the store:
+	// arrays, buckets, block headers and one machine word per pointer.
+	// It deliberately excludes Go runtime overhead so that the space
+	// comparison across schemes matches the paper's physical-memory
+	// metric without GC skew.
+	MemoryUsage() uint64
+}
+
+// WeightedStore is a Store for streaming scenarios with duplicate edges:
+// each distinct ⟨u,v⟩ carries a weight w counting its multiplicity
+// (paper §III-B).
+type WeightedStore interface {
+	Store
+
+	// Weight returns the weight of ⟨u,v⟩ and whether it exists.
+	Weight(u, v NodeID) (uint64, bool)
+}
+
+// Successors collects u's successors into a fresh slice.
+func Successors(s Store, u NodeID) []NodeID {
+	var out []NodeID
+	s.ForEachSuccessor(u, func(v NodeID) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Degree returns u's out-degree.
+func Degree(s Store, u NodeID) int {
+	n := 0
+	s.ForEachSuccessor(u, func(NodeID) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Factory constructs an empty store; the benchmark harness uses one per
+// scheme so each trial starts cold.
+type Factory struct {
+	Name string
+	New  func() Store
+}

@@ -1,0 +1,86 @@
+package neolike
+
+import "testing"
+
+func TestPropertyGraphBasics(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		db := New()
+		if indexed {
+			db = WithIndex()
+		}
+		db.CreateNode(1, "Person")
+		db.CreateNode(2, "Person")
+		r1 := db.CreateRelationship(1, 2, "KNOWS")
+		r2 := db.CreateRelationship(1, 2, "LIKES")
+		db.CreateRelationship(2, 1, "KNOWS")
+
+		if db.NumNodes() != 2 || db.NumRelationships() != 3 {
+			t.Fatalf("indexed=%v: nodes %d rels %d", indexed, db.NumNodes(), db.NumRelationships())
+		}
+		if l, ok := db.Label(1); !ok || l != "Person" {
+			t.Fatalf("label = %q,%v", l, ok)
+		}
+		rels := db.Relationships(1, 2)
+		if len(rels) != 2 {
+			t.Fatalf("indexed=%v: rels(1,2) = %d, want 2", indexed, len(rels))
+		}
+		if !db.HasRelationship(2, 1) || db.HasRelationship(2, 9) {
+			t.Fatalf("indexed=%v: HasRelationship wrong", indexed)
+		}
+		if err := db.SetProperty(r1, "since", "2020"); err != nil {
+			t.Fatal(err)
+		}
+		if db.rels[r1].Props["since"] != "2020" {
+			t.Fatal("property not stored")
+		}
+		if err := db.SetProperty(999, "k", "v"); err == nil {
+			t.Fatal("property on missing rel accepted")
+		}
+		if !db.DeleteRelationship(r2) || db.DeleteRelationship(r2) {
+			t.Fatalf("indexed=%v: delete semantics wrong", indexed)
+		}
+		if got := len(db.Relationships(1, 2)); got != 1 {
+			t.Fatalf("indexed=%v: rels after delete = %d, want 1", indexed, got)
+		}
+		if db.OutDegree(1) != 1 {
+			t.Fatalf("out degree = %d, want 1", db.OutDegree(1))
+		}
+	}
+}
+
+// TestIndexedMatchesPure checks both engines answer identically over a
+// random multi-edge workload — the index is a pure accelerator.
+func TestIndexedMatchesPure(t *testing.T) {
+	pure, idx := New(), WithIndex()
+	x := uint64(2463534242)
+	next := func() uint64 { x ^= x << 13; x ^= x >> 17; x ^= x << 5; return x }
+	type key struct{ u, v uint64 }
+	ids := map[key][]uint64{}
+	for i := 0; i < 3000; i++ {
+		u, v := next()%50, next()%50
+		a := pure.CreateRelationship(u, v, "E")
+		b := idx.CreateRelationship(u, v, "E")
+		if a != b {
+			t.Fatalf("id divergence %d vs %d", a, b)
+		}
+		ids[key{u, v}] = append(ids[key{u, v}], a)
+	}
+	for k, want := range ids {
+		p := pure.Relationships(k.u, k.v)
+		q := idx.Relationships(k.u, k.v)
+		if len(p) != len(want) || len(q) != len(want) {
+			t.Fatalf("pair %v: pure %d idx %d want %d", k, len(p), len(q), len(want))
+		}
+	}
+	// Delete everything through both engines; they must agree edge by edge.
+	for k, list := range ids {
+		for _, id := range list {
+			if pure.DeleteRelationship(id) != idx.DeleteRelationship(id) {
+				t.Fatalf("delete divergence at %d", id)
+			}
+		}
+		if pure.HasRelationship(k.u, k.v) || idx.HasRelationship(k.u, k.v) {
+			t.Fatalf("pair %v survives full deletion", k)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package pma implements a Packed Memory Array [44 in the paper]: a
+// sorted array with interspersed gaps that supports O(log² n) amortized
+// inserts and deletes while keeping elements physically ordered. It is
+// the substrate PCSR [26] builds on to make CSR dynamic.
+package pma
+
+import "math"
+
+const (
+	segBits = 5 // segment size 32
+	segSize = 1 << segBits
+)
+
+// PMA is a packed memory array of uint64 keys. The zero value is not
+// usable; call New.
+type PMA struct {
+	data []uint64
+	used []bool
+	n    int
+}
+
+// New returns an empty PMA.
+func New() *PMA {
+	return &PMA{data: make([]uint64, segSize), used: make([]bool, segSize)}
+}
+
+// Len returns the number of stored keys.
+func (p *PMA) Len() int { return p.n }
+
+// Capacity returns the slot count of the backing array.
+func (p *PMA) Capacity() int { return len(p.data) }
+
+// height returns the number of levels of the implicit tree.
+func (p *PMA) height() int {
+	return int(math.Log2(float64(len(p.data)/segSize))) + 1
+}
+
+// thresholds returns the max density for a window at the given level
+// (level 0 = leaf segment). Classic PMA: leaf max 1.0 down to root 0.5.
+func (p *PMA) maxDensity(level int) float64 {
+	h := p.height()
+	if h <= 1 {
+		return 1.0
+	}
+	return 1.0 - 0.5*float64(level)/float64(h-1)
+}
+
+func (p *PMA) minDensity(level int) float64 {
+	h := p.height()
+	if h <= 1 {
+		return 0.0
+	}
+	return 0.25 - 0.125*float64(level)/float64(h-1)
+}
+
+// findSlot returns the index of the first used slot with key ≥ key, or
+// len(data) if none. It binary-searches over segments then scans.
+func (p *PMA) findSlot(key uint64) int {
+	lo, hi := 0, len(p.data)/segSize // segment range [lo,hi)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		// Last used key in segment mid, if any.
+		last, ok := p.lastInSeg(mid)
+		if ok && last < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo * segSize; i < len(p.data); i++ {
+		if p.used[i] && p.data[i] >= key {
+			return i
+		}
+	}
+	return len(p.data)
+}
+
+func (p *PMA) lastInSeg(seg int) (uint64, bool) {
+	for i := (seg+1)*segSize - 1; i >= seg*segSize; i-- {
+		if p.used[i] {
+			return p.data[i], true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is stored.
+func (p *PMA) Contains(key uint64) bool {
+	i := p.findSlot(key)
+	return i < len(p.data) && p.data[i] == key
+}
+
+// Insert stores key, reporting whether it was newly added.
+func (p *PMA) Insert(key uint64) bool {
+	i := p.findSlot(key)
+	if i < len(p.data) && p.used[i] && p.data[i] == key {
+		return false
+	}
+	p.insertAt(i, key)
+	p.n++
+	return true
+}
+
+// insertAt places key before index i (i may be len(data) to append),
+// shifting toward the nearest free slot and rebalancing up the implicit
+// tree as densities overflow.
+func (p *PMA) insertAt(i int, key uint64) {
+	// Find a free slot at or after i by shifting the run right.
+	j := i
+	for j < len(p.data) && p.used[j] {
+		j++
+	}
+	if j < len(p.data) {
+		// Move i..j-1 one slot right, place key at i.
+		copy(p.data[i+1:j+1], p.data[i:j])
+		p.data[i] = key
+		p.used[j] = true
+		p.rebalanceAround(i)
+		return
+	}
+	// No room to the right: find a free slot before i and shift left,
+	// placing key at i-1 (still before the old occupant of i).
+	j = i - 1
+	for j >= 0 && p.used[j] {
+		j--
+	}
+	if j < 0 {
+		p.grow()
+		p.insertAt(p.findSlot(key), key)
+		return
+	}
+	copy(p.data[j:i-1], p.data[j+1:i])
+	p.data[i-1] = key
+	p.used[j] = true
+	p.rebalanceAround(i - 1)
+}
+
+// Delete removes key, reporting whether it existed.
+func (p *PMA) Delete(key uint64) bool {
+	i := p.findSlot(key)
+	if i >= len(p.data) || !p.used[i] || p.data[i] != key {
+		return false
+	}
+	// Compact the segment locally: shift left within the tail of used
+	// slots that directly follow i in this run.
+	j := i
+	for j+1 < len(p.data) && p.used[j+1] && (j+1)%segSize != 0 {
+		j++
+	}
+	copy(p.data[i:j], p.data[i+1:j+1])
+	p.used[j] = false
+	p.n--
+	if p.n > 0 && p.n < len(p.data)/4 && len(p.data) > segSize {
+		p.shrink()
+	}
+	return true
+}
+
+// rebalanceAround redistributes the smallest enclosing window whose
+// density is within bounds, growing the array if the root overflows.
+func (p *PMA) rebalanceAround(i int) {
+	size := segSize
+	start := i / segSize * segSize
+	level := 0
+	for {
+		cnt := 0
+		for j := start; j < start+size && j < len(p.data); j++ {
+			if p.used[j] {
+				cnt++
+			}
+		}
+		if float64(cnt)/float64(size) <= p.maxDensity(level) {
+			p.redistribute(start, size)
+			return
+		}
+		if size >= len(p.data) {
+			p.grow()
+			return
+		}
+		size *= 2
+		start = start / size * size
+		level++
+	}
+}
+
+// redistribute spreads the window's keys evenly over its slots.
+func (p *PMA) redistribute(start, size int) {
+	end := start + size
+	if end > len(p.data) {
+		end = len(p.data)
+	}
+	keys := make([]uint64, 0, size)
+	for j := start; j < end; j++ {
+		if p.used[j] {
+			keys = append(keys, p.data[j])
+			p.used[j] = false
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	step := float64(end-start) / float64(len(keys))
+	for k, key := range keys {
+		pos := start + int(float64(k)*step)
+		p.data[pos] = key
+		p.used[pos] = true
+	}
+}
+
+// grow doubles the array and redistributes everything.
+func (p *PMA) grow() { p.resize(len(p.data) * 2) }
+
+// shrink halves the array.
+func (p *PMA) shrink() { p.resize(len(p.data) / 2) }
+
+func (p *PMA) resize(newCap int) {
+	if newCap < segSize {
+		newCap = segSize
+	}
+	keys := make([]uint64, 0, p.n)
+	for j, u := range p.used {
+		if u {
+			keys = append(keys, p.data[j])
+		}
+	}
+	p.data = make([]uint64, newCap)
+	p.used = make([]bool, newCap)
+	if len(keys) == 0 {
+		return
+	}
+	step := float64(newCap) / float64(len(keys))
+	if step < 1 {
+		step = 1
+	}
+	for k, key := range keys {
+		pos := int(float64(k) * step)
+		if pos >= newCap {
+			pos = newCap - 1
+		}
+		// Collisions can only happen when step snaps; probe forward.
+		for p.used[pos] {
+			pos++
+		}
+		p.data[pos] = key
+		p.used[pos] = true
+	}
+	p.n = len(keys)
+}
+
+// Range calls fn for every key in [from, to) in ascending order until fn
+// returns false.
+func (p *PMA) Range(from, to uint64, fn func(key uint64) bool) {
+	for i := p.findSlot(from); i < len(p.data); i++ {
+		if !p.used[i] {
+			continue
+		}
+		if p.data[i] >= to {
+			return
+		}
+		if !fn(p.data[i]) {
+			return
+		}
+	}
+}
+
+// ForEach calls fn for every key in ascending order.
+func (p *PMA) ForEach(fn func(key uint64) bool) {
+	for i := range p.data {
+		if p.used[i] && !fn(p.data[i]) {
+			return
+		}
+	}
+}
+
+// MemoryBytes returns the structural bytes of the array (8 B key + 1 B
+// occupancy per slot).
+func (p *PMA) MemoryBytes() uint64 { return uint64(len(p.data))*9 + 48 }

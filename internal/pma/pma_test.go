@@ -1,0 +1,115 @@
+package pma
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cuckoograph/internal/hashutil"
+)
+
+func TestPMAInsertOrdered(t *testing.T) {
+	p := New()
+	for i := uint64(1); i <= 1000; i++ {
+		if !p.Insert(i * 7 % 1009) {
+			t.Fatalf("insert %d reported duplicate", i)
+		}
+	}
+	if p.Len() != 1000 {
+		t.Fatalf("len %d, want 1000", p.Len())
+	}
+	var got []uint64
+	p.ForEach(func(k uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("PMA iteration not sorted")
+	}
+	if len(got) != 1000 {
+		t.Fatalf("iterated %d keys, want 1000", len(got))
+	}
+}
+
+func TestPMADuplicates(t *testing.T) {
+	p := New()
+	if !p.Insert(5) || p.Insert(5) {
+		t.Fatal("duplicate handling wrong")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len %d, want 1", p.Len())
+	}
+}
+
+func TestPMADeleteAndShrink(t *testing.T) {
+	p := New()
+	for i := uint64(0); i < 2000; i++ {
+		p.Insert(i)
+	}
+	capAtPeak := p.Capacity()
+	for i := uint64(0); i < 1990; i++ {
+		if !p.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if p.Len() != 10 {
+		t.Fatalf("len %d, want 10", p.Len())
+	}
+	if p.Capacity() >= capAtPeak {
+		t.Fatalf("capacity did not shrink: %d → %d", capAtPeak, p.Capacity())
+	}
+	for i := uint64(1990); i < 2000; i++ {
+		if !p.Contains(i) {
+			t.Fatalf("survivor %d missing", i)
+		}
+	}
+	if p.Delete(12345) {
+		t.Fatal("delete of absent key reported true")
+	}
+}
+
+func TestPMARange(t *testing.T) {
+	p := New()
+	for i := uint64(0); i < 100; i++ {
+		p.Insert(i * 10)
+	}
+	var got []uint64
+	p.Range(250, 500, func(k uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 25 || got[0] != 250 || got[len(got)-1] != 490 {
+		t.Fatalf("range [250,500) = %v", got)
+	}
+}
+
+func TestPMAQuickModel(t *testing.T) {
+	f := func(seed uint64, ops []uint16) bool {
+		p := New()
+		model := map[uint64]bool{}
+		rng := hashutil.NewRNG(seed | 1)
+		for _, op := range ops {
+			k := uint64(op % 509)
+			switch rng.Intn(3) {
+			case 0:
+				if p.Insert(k) == model[k] {
+					return false
+				}
+				model[k] = true
+			case 1:
+				if p.Delete(k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			default:
+				if p.Contains(k) != model[k] {
+					return false
+				}
+			}
+		}
+		return p.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

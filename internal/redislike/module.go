@@ -1,0 +1,157 @@
+package redislike
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/resp"
+)
+
+// GraphModule wraps a CuckooGraph as a redislike module, providing the
+// extended commands of §V-F — insert, del, query, getneighbors — and
+// the save_rdb/load_rdb persistence interfaces.
+type GraphModule struct {
+	g *core.Graph
+}
+
+// NewGraphModule returns the CuckooGraph module ready for LoadModule.
+func NewGraphModule() (*GraphModule, *Module) {
+	gm := &GraphModule{g: core.NewGraph(core.Config{})}
+	m := &Module{
+		Name: "cuckoograph",
+		Commands: map[string]HandlerFunc{
+			"g.insert":       gm.insert,
+			"g.del":          gm.del,
+			"g.query":        gm.query,
+			"g.getneighbors": gm.getNeighbors,
+		},
+		SaveRDB: gm.saveRDB,
+		LoadRDB: gm.loadRDB,
+	}
+	return gm, m
+}
+
+// Graph exposes the underlying graph for in-process inspection.
+func (gm *GraphModule) Graph() *core.Graph { return gm.g }
+
+func parseEdge(args []string) (u, v uint64, err error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("expected <u> <v>")
+	}
+	u, err = strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad node id %q", args[0])
+	}
+	v, err = strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad node id %q", args[1])
+	}
+	return u, v, nil
+}
+
+func (gm *GraphModule) insert(args []string) resp.Value {
+	u, v, err := parseEdge(args)
+	if err != nil {
+		return resp.Error("ERR g.insert: " + err.Error())
+	}
+	if gm.g.InsertEdge(u, v) {
+		return resp.Integer(1)
+	}
+	return resp.Integer(0)
+}
+
+func (gm *GraphModule) del(args []string) resp.Value {
+	u, v, err := parseEdge(args)
+	if err != nil {
+		return resp.Error("ERR g.del: " + err.Error())
+	}
+	if gm.g.DeleteEdge(u, v) {
+		return resp.Integer(1)
+	}
+	return resp.Integer(0)
+}
+
+func (gm *GraphModule) query(args []string) resp.Value {
+	u, v, err := parseEdge(args)
+	if err != nil {
+		return resp.Error("ERR g.query: " + err.Error())
+	}
+	if gm.g.HasEdge(u, v) {
+		return resp.Integer(1)
+	}
+	return resp.Integer(0)
+}
+
+func (gm *GraphModule) getNeighbors(args []string) resp.Value {
+	if len(args) != 1 {
+		return resp.Error("ERR g.getneighbors: expected <u>")
+	}
+	u, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return resp.Error("ERR g.getneighbors: bad node id " + strconv.Quote(args[0]))
+	}
+	var out []resp.Value
+	gm.g.ForEachSuccessor(u, func(v uint64) bool {
+		out = append(out, resp.Bulk(strconv.FormatUint(v, 10)))
+		return true
+	})
+	return resp.Array(out...)
+}
+
+// saveRDB serialises every edge as two big-endian uint64s, prefixed by
+// the edge count.
+func (gm *GraphModule) saveRDB() []byte {
+	buf := make([]byte, 8, 8+gm.g.NumEdges()*16)
+	binary.BigEndian.PutUint64(buf, gm.g.NumEdges())
+	gm.g.ForEachNode(func(u uint64) bool {
+		gm.g.ForEachSuccessor(u, func(v uint64) bool {
+			var rec [16]byte
+			binary.BigEndian.PutUint64(rec[:8], u)
+			binary.BigEndian.PutUint64(rec[8:], v)
+			buf = append(buf, rec[:]...)
+			return true
+		})
+		return true
+	})
+	return buf
+}
+
+func (gm *GraphModule) loadRDB(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("cuckoograph rdb: truncated header")
+	}
+	n := binary.BigEndian.Uint64(data[:8])
+	data = data[8:]
+	if uint64(len(data)) != n*16 {
+		return fmt.Errorf("cuckoograph rdb: want %d records, have %d bytes", n, len(data))
+	}
+	g := core.NewGraph(core.Config{})
+	for i := uint64(0); i < n; i++ {
+		u := binary.BigEndian.Uint64(data[i*16:])
+		v := binary.BigEndian.Uint64(data[i*16+8:])
+		g.InsertEdge(u, v)
+	}
+	gm.g = g
+	return nil
+}
+
+// AOFRewrite emits the command stream that rebuilds the graph — the
+// aof_rewrite interface of the Redis Module API.
+func (gm *GraphModule) AOFRewrite() []string {
+	var cmds []string
+	gm.g.ForEachNode(func(u uint64) bool {
+		gm.g.ForEachSuccessor(u, func(v uint64) bool {
+			cmds = append(cmds, strings.Join([]string{
+				"g.insert",
+				strconv.FormatUint(u, 10),
+				strconv.FormatUint(v, 10),
+			}, " "))
+			return true
+		})
+		return true
+	})
+	return cmds
+}

@@ -1,0 +1,194 @@
+// Package redislike is a small in-process Redis-like server: a TCP
+// RESP2 front end with core string commands (PING, SET, GET, DEL) and a
+// module API through which additional data types register commands and
+// persistence hooks — the substrate for the paper's Redis integration
+// (§V-F), where CuckooGraph is loaded as a module providing G.INSERT,
+// G.DEL, G.QUERY and G.GETNEIGHBORS plus RDB-style save/load.
+package redislike
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"cuckoograph/internal/resp"
+)
+
+// HandlerFunc serves one module command; args excludes the command name.
+type HandlerFunc func(args []string) resp.Value
+
+// Module is the unit of registration, mirroring the Redis Module API
+// surface the paper implements (commands + save_rdb/load_rdb hooks).
+type Module struct {
+	Name     string
+	Commands map[string]HandlerFunc
+	SaveRDB  func() []byte
+	LoadRDB  func(data []byte) error
+}
+
+// Server is a single-node redislike instance.
+type Server struct {
+	mu      sync.Mutex
+	strings map[string]string
+	modules []*Module
+	cmds    map[string]HandlerFunc
+
+	ln     net.Listener
+	closed chan struct{}
+}
+
+// NewServer returns a server with the built-in commands registered.
+func NewServer() *Server {
+	return &Server{
+		strings: make(map[string]string),
+		cmds:    make(map[string]HandlerFunc),
+		closed:  make(chan struct{}),
+	}
+}
+
+// LoadModule registers a module's commands (--loadmodule equivalent).
+func (s *Server) LoadModule(m *Module) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, h := range m.Commands {
+		lower := strings.ToLower(name)
+		if _, dup := s.cmds[lower]; dup {
+			return fmt.Errorf("redislike: duplicate command %q", name)
+		}
+		s.cmds[lower] = h
+	}
+	s.modules = append(s.modules, m)
+	return nil
+}
+
+// SaveRDB snapshots every module (the persistence experiment hook).
+func (s *Server) SaveRDB() map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string][]byte{}
+	for _, m := range s.modules {
+		if m.SaveRDB != nil {
+			out[m.Name] = m.SaveRDB()
+		}
+	}
+	return out
+}
+
+// LoadRDB restores module snapshots.
+func (s *Server) LoadRDB(snap map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.modules {
+		if data, ok := snap[m.Name]; ok && m.LoadRDB != nil {
+			if err := m.LoadRDB(data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	close(s.closed)
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := resp.Read(r)
+		if err != nil {
+			return
+		}
+		reply := s.Dispatch(req)
+		if err := resp.Write(w, reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Dispatch executes one already-decoded command; exported so benchmarks
+// can measure command cost without socket overhead.
+func (s *Server) Dispatch(req resp.Value) resp.Value {
+	if req.Type != '*' || len(req.Array) == 0 {
+		return resp.Error("ERR protocol: expected command array")
+	}
+	args := make([]string, len(req.Array))
+	for i, v := range req.Array {
+		args[i] = v.Str
+	}
+	name := strings.ToLower(args[0])
+	args = args[1:]
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch name {
+	case "ping":
+		return resp.Simple("PONG")
+	case "set":
+		if len(args) != 2 {
+			return resp.Error("ERR wrong number of arguments for 'set'")
+		}
+		s.strings[args[0]] = args[1]
+		return resp.Simple("OK")
+	case "get":
+		if len(args) != 1 {
+			return resp.Error("ERR wrong number of arguments for 'get'")
+		}
+		if v, ok := s.strings[args[0]]; ok {
+			return resp.Bulk(v)
+		}
+		return resp.NullBulk()
+	case "del":
+		n := int64(0)
+		for _, k := range args {
+			if _, ok := s.strings[k]; ok {
+				delete(s.strings, k)
+				n++
+			}
+		}
+		return resp.Integer(n)
+	}
+	if h, ok := s.cmds[name]; ok {
+		return h(args)
+	}
+	return resp.Error("ERR unknown command '" + name + "'")
+}

@@ -1,0 +1,149 @@
+package redislike
+
+import (
+	"bufio"
+	"net"
+	"strconv"
+	"testing"
+
+	"cuckoograph/internal/resp"
+)
+
+func TestBuiltinsOverTCP(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	send := func(args ...string) resp.Value {
+		t.Helper()
+		if err := resp.Write(w, resp.Command(args...)); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		v, err := resp.Read(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	if got := send("PING"); got.Str != "PONG" {
+		t.Fatalf("PING = %+v", got)
+	}
+	if got := send("SET", "k", "v"); got.Str != "OK" {
+		t.Fatalf("SET = %+v", got)
+	}
+	if got := send("GET", "k"); got.Str != "v" {
+		t.Fatalf("GET = %+v", got)
+	}
+	if got := send("DEL", "k", "missing"); got.Int != 1 {
+		t.Fatalf("DEL = %+v", got)
+	}
+	if got := send("GET", "k"); !got.Null {
+		t.Fatalf("GET after DEL = %+v", got)
+	}
+	if got := send("NOSUCH"); got.Type != '-' {
+		t.Fatalf("unknown command = %+v", got)
+	}
+}
+
+func TestGraphModuleCommands(t *testing.T) {
+	s := NewServer()
+	gm, mod := NewGraphModule()
+	if err := s.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	dispatch := func(args ...string) resp.Value { return s.Dispatch(resp.Command(args...)) }
+
+	if got := dispatch("G.INSERT", "1", "2"); got.Int != 1 {
+		t.Fatalf("first insert = %+v", got)
+	}
+	if got := dispatch("g.insert", "1", "2"); got.Int != 0 {
+		t.Fatalf("dup insert = %+v", got)
+	}
+	if got := dispatch("g.query", "1", "2"); got.Int != 1 {
+		t.Fatalf("query = %+v", got)
+	}
+	dispatch("g.insert", "1", "3")
+	if got := dispatch("g.getneighbors", "1"); len(got.Array) != 2 {
+		t.Fatalf("getneighbors = %+v", got)
+	}
+	if got := dispatch("g.del", "1", "2"); got.Int != 1 {
+		t.Fatalf("del = %+v", got)
+	}
+	if got := dispatch("g.query", "1", "2"); got.Int != 0 {
+		t.Fatalf("query after del = %+v", got)
+	}
+	if got := dispatch("g.insert", "x", "2"); got.Type != '-' {
+		t.Fatalf("bad arg = %+v", got)
+	}
+	if gm.Graph().NumEdges() != 1 {
+		t.Fatalf("graph edges = %d, want 1", gm.Graph().NumEdges())
+	}
+}
+
+func TestGraphModulePersistence(t *testing.T) {
+	s := NewServer()
+	gm, mod := NewGraphModule()
+	s.LoadModule(mod)
+	for i := uint64(1); i <= 500; i++ {
+		gm.Graph().InsertEdge(i%50, i)
+	}
+	want := gm.Graph().NumEdges()
+
+	snap := s.SaveRDB()
+	if len(snap["cuckoograph"]) == 0 {
+		t.Fatal("empty rdb snapshot")
+	}
+
+	// Fresh server; load the snapshot.
+	s2 := NewServer()
+	gm2, mod2 := NewGraphModule()
+	s2.LoadModule(mod2)
+	if err := s2.LoadRDB(snap); err != nil {
+		t.Fatal(err)
+	}
+	if gm2.Graph().NumEdges() != want {
+		t.Fatalf("restored %d edges, want %d", gm2.Graph().NumEdges(), want)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		if !gm2.Graph().HasEdge(i%50, i) {
+			t.Fatalf("edge ⟨%d,%d⟩ lost across save/load", i%50, i)
+		}
+	}
+
+	// Corrupt snapshots must be rejected.
+	if err := gm2.loadRDB([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated rdb accepted")
+	}
+
+	// AOF rewrite must list one command per edge.
+	cmds := gm.AOFRewrite()
+	if uint64(len(cmds)) != want {
+		t.Fatalf("aof has %d commands, want %d", len(cmds), want)
+	}
+}
+
+func TestDuplicateModuleCommand(t *testing.T) {
+	s := NewServer()
+	_, m1 := NewGraphModule()
+	if err := s.LoadModule(m1); err != nil {
+		t.Fatal(err)
+	}
+	_, m2 := NewGraphModule()
+	if err := s.LoadModule(m2); err == nil {
+		t.Fatal("duplicate command registration accepted")
+	}
+	_ = strconv.Quote("")
+}

@@ -1,0 +1,143 @@
+// Package resp implements the Redis Serialization Protocol (RESP2) wire
+// format: the encoding spoken by the redislike server and client used
+// for the paper's Redis integration experiment (§V-F).
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Value is one RESP value. Exactly one interpretation applies per Type.
+type Value struct {
+	Type  byte // '+', '-', ':', '$', '*'
+	Str   string
+	Int   int64
+	Array []Value
+	Null  bool
+}
+
+// Convenience constructors.
+func Simple(s string) Value   { return Value{Type: '+', Str: s} }
+func Error(s string) Value    { return Value{Type: '-', Str: s} }
+func Integer(n int64) Value   { return Value{Type: ':', Int: n} }
+func Bulk(s string) Value     { return Value{Type: '$', Str: s} }
+func NullBulk() Value         { return Value{Type: '$', Null: true} }
+func Array(vs ...Value) Value { return Value{Type: '*', Array: vs} }
+
+// ErrProtocol reports malformed wire data.
+var ErrProtocol = errors.New("resp: protocol error")
+
+// Write encodes v to w.
+func Write(w *bufio.Writer, v Value) error {
+	switch v.Type {
+	case '+', '-':
+		if _, err := fmt.Fprintf(w, "%c%s\r\n", v.Type, v.Str); err != nil {
+			return err
+		}
+	case ':':
+		if _, err := fmt.Fprintf(w, ":%d\r\n", v.Int); err != nil {
+			return err
+		}
+	case '$':
+		if v.Null {
+			if _, err := w.WriteString("$-1\r\n"); err != nil {
+				return err
+			}
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "$%d\r\n%s\r\n", len(v.Str), v.Str); err != nil {
+			return err
+		}
+	case '*':
+		if _, err := fmt.Fprintf(w, "*%d\r\n", len(v.Array)); err != nil {
+			return err
+		}
+		for _, item := range v.Array {
+			if err := Write(w, item); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown type %q", ErrProtocol, v.Type)
+	}
+	return nil
+}
+
+// Read decodes one value from r.
+func Read(r *bufio.Reader) (Value, error) {
+	t, err := r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch t {
+	case '+':
+		return Simple(line), nil
+	case '-':
+		return Error(line), nil
+	case ':':
+		n, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
+		}
+		return Integer(n), nil
+	case '$':
+		n, err := strconv.Atoi(line)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
+		}
+		if n < 0 {
+			return NullBulk(), nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProtocol)
+		}
+		return Bulk(string(buf[:n])), nil
+	case '*':
+		n, err := strconv.Atoi(line)
+		if err != nil || n < 0 {
+			return Value{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
+		}
+		arr := make([]Value, n)
+		for i := range arr {
+			arr[i], err = Read(r)
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{Type: '*', Array: arr}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown type byte %q", ErrProtocol, t)
+	}
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return "", fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
+	}
+	return line[:len(line)-2], nil
+}
+
+// Command encodes a client command as an array of bulk strings.
+func Command(args ...string) Value {
+	vs := make([]Value, len(args))
+	for i, a := range args {
+		vs[i] = Bulk(a)
+	}
+	return Array(vs...)
+}

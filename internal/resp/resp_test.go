@@ -1,0 +1,88 @@
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := Write(w, v); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	w.Flush()
+	got, err := Read(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("read back %q: %v", buf.String(), err)
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []Value{
+		Simple("OK"),
+		Error("ERR boom"),
+		Integer(-42),
+		Integer(1 << 40),
+		Bulk(""),
+		Bulk("hello\r\nworld"),
+		NullBulk(),
+		Array(Bulk("g.insert"), Bulk("1"), Bulk("2")),
+		Array(Integer(1), Array(Bulk("nested")), Simple("deep")),
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("round trip changed %+v → %+v", v, got)
+		}
+	}
+}
+
+func TestEmptyArrayRoundTrip(t *testing.T) {
+	got := roundTrip(t, Array())
+	if got.Type != '*' || len(got.Array) != 0 {
+		t.Fatalf("empty array round trip = %+v", got)
+	}
+}
+
+func TestCommandEncoding(t *testing.T) {
+	v := Command("SET", "k", "v")
+	if v.Type != '*' || len(v.Array) != 3 || v.Array[0].Str != "SET" {
+		t.Fatalf("Command = %+v", v)
+	}
+}
+
+func TestWireFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	Write(w, Bulk("hi"))
+	w.Flush()
+	if got := buf.String(); got != "$2\r\nhi\r\n" {
+		t.Fatalf("bulk wire = %q", got)
+	}
+	buf.Reset()
+	Write(w, NullBulk())
+	w.Flush()
+	if got := buf.String(); got != "$-1\r\n" {
+		t.Fatalf("null bulk wire = %q", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"?wat\r\n",
+		":abc\r\n",
+		"$5\r\nhi\r\n",
+		"*2\r\n:1\r\n", // truncated array
+		"+no-crlf\n",
+	}
+	for _, s := range bad {
+		if _, err := Read(bufio.NewReader(bytes.NewBufferString(s))); err == nil {
+			t.Fatalf("Read(%q) succeeded, want error", s)
+		}
+	}
+}

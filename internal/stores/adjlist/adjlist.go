@@ -1,0 +1,92 @@
+// Package adjlist implements the classic adjacency-list graph store the
+// paper's introduction discusses: a per-node vector of neighbours. It is
+// the simplest baseline — easy to edit, but pointer-intensive and linear
+// in degree for edge queries.
+package adjlist
+
+// Store is an adjacency-list graph.
+type Store struct {
+	adj   map[uint64][]uint64
+	edges uint64
+}
+
+// New returns an empty adjacency-list store.
+func New() *Store {
+	return &Store{adj: make(map[uint64][]uint64)}
+}
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new. Duplicate checks
+// scan the neighbour vector, the O(deg) cost the paper attributes to
+// adjacency lists.
+func (s *Store) InsertEdge(u, v uint64) bool {
+	list := s.adj[u]
+	for _, got := range list {
+		if got == v {
+			return false
+		}
+	}
+	s.adj[u] = append(list, v)
+	s.edges++
+	return true
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (s *Store) HasEdge(u, v uint64) bool {
+	for _, got := range s.adj[u] {
+		if got == v {
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
+func (s *Store) DeleteEdge(u, v uint64) bool {
+	list := s.adj[u]
+	for i, got := range list {
+		if got == v {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			if len(list) == 0 {
+				delete(s.adj, u)
+			} else {
+				s.adj[u] = list
+			}
+			s.edges--
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachSuccessor calls fn for every successor of u.
+func (s *Store) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	for _, v := range s.adj[u] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// ForEachNode calls fn for every node with out-edges.
+func (s *Store) ForEachNode(fn func(u uint64) bool) {
+	for u := range s.adj {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// NumEdges returns the number of stored edges.
+func (s *Store) NumEdges() uint64 { return s.edges }
+
+// MemoryUsage counts structural bytes: per node a map slot (key, slice
+// header, bucket word) and the neighbour array capacity.
+func (s *Store) MemoryUsage() uint64 {
+	var total uint64 = 48
+	for _, list := range s.adj {
+		total += 8 + 24 + 8 // key + slice header + map bucket word
+		total += uint64(cap(list)) * 8
+	}
+	return total
+}

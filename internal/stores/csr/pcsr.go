@@ -1,0 +1,133 @@
+// Package csr implements PCSR [26]: a dynamic CSR whose edge array is a
+// Packed Memory Array. Edges are stored as a single PMA of (u,v) pairs
+// packed into one uint64 ordering key — u in the high 32 bits, v in the
+// low 32 — so each node's neighbours occupy a contiguous PMA range, the
+// CSR property, while updates stay O(log²) amortized instead of a full
+// rebuild. A static Build constructor provides the classic immutable CSR
+// for comparison.
+package csr
+
+import "cuckoograph/internal/pma"
+
+// PCSR is a PMA-backed dynamic CSR. Node ids must fit in 32 bits (the
+// workloads of the paper's Table IV all do).
+type PCSR struct {
+	arr   *pma.PMA
+	edges uint64
+}
+
+// NewPCSR returns an empty PCSR store.
+func NewPCSR() *PCSR { return &PCSR{arr: pma.New()} }
+
+func pack(u, v uint64) uint64 { return u<<32 | (v & 0xFFFFFFFF) }
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new.
+func (s *PCSR) InsertEdge(u, v uint64) bool {
+	if s.arr.Insert(pack(u, v)) {
+		s.edges++
+		return true
+	}
+	return false
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (s *PCSR) HasEdge(u, v uint64) bool { return s.arr.Contains(pack(u, v)) }
+
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
+func (s *PCSR) DeleteEdge(u, v uint64) bool {
+	if s.arr.Delete(pack(u, v)) {
+		s.edges--
+		return true
+	}
+	return false
+}
+
+// ForEachSuccessor scans u's contiguous PMA range.
+func (s *PCSR) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	s.arr.Range(pack(u, 0), pack(u+1, 0), func(key uint64) bool {
+		return fn(key & 0xFFFFFFFF)
+	})
+}
+
+// ForEachNode reports each distinct source in ascending order.
+func (s *PCSR) ForEachNode(fn func(u uint64) bool) {
+	last, have := uint64(0), false
+	s.arr.ForEach(func(key uint64) bool {
+		u := key >> 32
+		if !have || u != last {
+			last, have = u, true
+			return fn(u)
+		}
+		return true
+	})
+}
+
+// NumEdges returns the number of stored edges.
+func (s *PCSR) NumEdges() uint64 { return s.edges }
+
+// MemoryUsage returns the PMA's structural bytes.
+func (s *PCSR) MemoryUsage() uint64 { return s.arr.MemoryBytes() + 16 }
+
+// Static is the classic immutable CSR: offsets + neighbour array. It
+// supports queries and traversal only; updates require a full rebuild,
+// which is exactly the limitation the paper describes.
+type Static struct {
+	index map[uint64]int32 // node → position in offsets
+	off   []int32          // len = nodes+1
+	adj   []uint64
+}
+
+// Build constructs a static CSR from an edge list.
+func Build(edges [][2]uint64) *Static {
+	byNode := map[uint64][]uint64{}
+	var order []uint64
+	for _, e := range edges {
+		if _, ok := byNode[e[0]]; !ok {
+			order = append(order, e[0])
+		}
+		byNode[e[0]] = append(byNode[e[0]], e[1])
+	}
+	s := &Static{index: make(map[uint64]int32, len(order))}
+	s.off = make([]int32, 1, len(order)+1)
+	for _, u := range order {
+		s.index[u] = int32(len(s.off) - 1)
+		s.adj = append(s.adj, byNode[u]...)
+		s.off = append(s.off, int32(len(s.adj)))
+	}
+	return s
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (s *Static) HasEdge(u, v uint64) bool {
+	i, ok := s.index[u]
+	if !ok {
+		return false
+	}
+	for _, got := range s.adj[s.off[i]:s.off[i+1]] {
+		if got == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachSuccessor visits u's neighbour range.
+func (s *Static) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	i, ok := s.index[u]
+	if !ok {
+		return
+	}
+	for _, v := range s.adj[s.off[i]:s.off[i+1]] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// NumEdges returns the number of stored edges.
+func (s *Static) NumEdges() uint64 { return uint64(len(s.adj)) }
+
+// MemoryUsage counts the offset and adjacency arrays plus the node index.
+func (s *Static) MemoryUsage() uint64 {
+	return uint64(len(s.off))*4 + uint64(len(s.adj))*8 + uint64(len(s.index))*16 + 48
+}

@@ -1,0 +1,117 @@
+package stores
+
+import (
+	"testing"
+
+	"cuckoograph/internal/stores/livegraph"
+	"cuckoograph/internal/stores/sortledton"
+	"cuckoograph/internal/stores/spruce"
+	"cuckoograph/internal/stores/wbi"
+)
+
+// TestLiveGraphCompaction drives one vertex through enough churn that
+// the TEL compacts, and checks live state survives.
+func TestLiveGraphCompaction(t *testing.T) {
+	s := livegraph.New()
+	for round := 0; round < 10; round++ {
+		for v := uint64(1); v <= 20; v++ {
+			s.InsertEdge(1, v)
+		}
+		for v := uint64(1); v <= 19; v++ {
+			s.DeleteEdge(1, v)
+		}
+	}
+	if !s.HasEdge(1, 20) {
+		t.Fatal("surviving edge lost across compactions")
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", s.NumEdges())
+	}
+	// The log must not be unbounded: memory should be modest after
+	// compaction despite 400 operations.
+	if s.MemoryUsage() > 1<<14 {
+		t.Fatalf("log apparently never compacts: %d bytes", s.MemoryUsage())
+	}
+}
+
+// TestSortledtonBlockSplits pushes one adjacency set past several block
+// splits and checks order and completeness.
+func TestSortledtonBlockSplits(t *testing.T) {
+	s := sortledton.New()
+	const deg = 1000 // > 7 blocks of 128
+	for v := uint64(deg); v >= 1; v-- {
+		if !s.InsertEdge(7, v) {
+			t.Fatalf("insert %d duplicate", v)
+		}
+	}
+	var prev uint64
+	n := 0
+	s.ForEachSuccessor(7, func(v uint64) bool {
+		if v <= prev && n > 0 {
+			t.Fatalf("successors not ascending: %d after %d", v, prev)
+		}
+		prev = v
+		n++
+		return true
+	})
+	if n != deg {
+		t.Fatalf("visited %d successors, want %d", n, deg)
+	}
+	// Delete every other neighbour; order must hold.
+	for v := uint64(2); v <= deg; v += 2 {
+		if !s.DeleteEdge(7, v) {
+			t.Fatalf("delete %d failed", v)
+		}
+	}
+	if got := int(s.NumEdges()); got != deg/2 {
+		t.Fatalf("edges = %d, want %d", got, deg/2)
+	}
+}
+
+// TestWBICandidateBuckets checks edges are findable regardless of which
+// candidate bucket absorbed them, and the K parameter default.
+func TestWBICandidateBuckets(t *testing.T) {
+	s := wbi.New(8)
+	for i := uint64(0); i < 500; i++ {
+		s.InsertEdge(i%30, i)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if !s.HasEdge(i%30, i) {
+			t.Fatalf("edge %d missing", i)
+		}
+	}
+	if wbi.New(0).MemoryUsage() == 0 {
+		t.Fatal("default-K store reports zero memory")
+	}
+}
+
+// TestSpruceSparseIDs exercises the 4/2/2 split index with node ids
+// spread across distant regions of the 64-bit space.
+func TestSpruceSparseIDs(t *testing.T) {
+	s := spruce.New()
+	ids := []uint64{
+		0, 1, 0xFFFF, 0x10000, 0xFFFFFFFF,
+		0x1_0000_0000, 0xDEAD_BEEF_CAFE_F00D, ^uint64(0),
+	}
+	for i, u := range ids {
+		s.InsertEdge(u, uint64(i))
+	}
+	for i, u := range ids {
+		if !s.HasEdge(u, uint64(i)) {
+			t.Fatalf("edge from %#x missing", u)
+		}
+	}
+	seen := 0
+	s.ForEachNode(func(u uint64) bool { seen++; return true })
+	if seen != len(ids) {
+		t.Fatalf("ForEachNode saw %d nodes, want %d", seen, len(ids))
+	}
+	for i, u := range ids {
+		if !s.DeleteEdge(u, uint64(i)) {
+			t.Fatalf("delete from %#x failed", u)
+		}
+	}
+	if s.NumEdges() != 0 {
+		t.Fatalf("edges = %d after full deletion", s.NumEdges())
+	}
+}

@@ -1,0 +1,159 @@
+// Package livegraph re-implements the data-structure essence of
+// LiveGraph [VLDB'20]: per-vertex Transactional Edge Logs (TEL) reached
+// through Vertex Blocks. Edge insertions and deletions append log
+// entries in arrival order; reads scan the log backwards so the latest
+// entry for a neighbour wins ("purely sequential adjacency list scans").
+// A log that outgrows twice its live size is compacted in place.
+package livegraph
+
+// op codes of a TEL entry.
+const (
+	opInsert = iota
+	opDelete
+)
+
+// telEntry is one edge-log record.
+type telEntry struct {
+	v  uint64
+	op uint8
+}
+
+// vertexBlock is the per-vertex header pointing at the TEL.
+type vertexBlock struct {
+	log  []telEntry
+	live int // live (inserted − deleted) edges, to schedule compaction
+}
+
+// Store is a LiveGraph-style edge-log graph.
+type Store struct {
+	blocks map[uint64]*vertexBlock
+	edges  uint64
+}
+
+// New returns an empty LiveGraph-style store.
+func New() *Store { return &Store{blocks: make(map[uint64]*vertexBlock)} }
+
+// lookup scans the TEL backwards for the latest entry about v.
+func (b *vertexBlock) lookup(v uint64) (present bool, found bool) {
+	for i := len(b.log) - 1; i >= 0; i-- {
+		if b.log[i].v == v {
+			return b.log[i].op == opInsert, true
+		}
+	}
+	return false, false
+}
+
+// InsertEdge appends an insert record unless ⟨u,v⟩ is already live.
+func (s *Store) InsertEdge(u, v uint64) bool {
+	b := s.blocks[u]
+	if b == nil {
+		b = &vertexBlock{}
+		s.blocks[u] = b
+	}
+	if present, _ := b.lookup(v); present {
+		return false
+	}
+	b.log = append(b.log, telEntry{v: v, op: opInsert})
+	b.live++
+	s.edges++
+	s.maybeCompact(u, b)
+	return true
+}
+
+// HasEdge reports whether ⟨u,v⟩ is live.
+func (s *Store) HasEdge(u, v uint64) bool {
+	b := s.blocks[u]
+	if b == nil {
+		return false
+	}
+	present, _ := b.lookup(v)
+	return present
+}
+
+// DeleteEdge appends a delete record if ⟨u,v⟩ is live.
+func (s *Store) DeleteEdge(u, v uint64) bool {
+	b := s.blocks[u]
+	if b == nil {
+		return false
+	}
+	if present, _ := b.lookup(v); !present {
+		return false
+	}
+	b.log = append(b.log, telEntry{v: v, op: opDelete})
+	b.live--
+	s.edges--
+	if b.live == 0 {
+		delete(s.blocks, u)
+		return true
+	}
+	s.maybeCompact(u, b)
+	return true
+}
+
+// maybeCompact rewrites the log when it holds over twice the live edges
+// (LiveGraph periodically migrates logs into fresh blocks).
+func (s *Store) maybeCompact(u uint64, b *vertexBlock) {
+	if len(b.log) < 16 || len(b.log) < 2*b.live {
+		return
+	}
+	state := make(map[uint64]bool, b.live)
+	for _, e := range b.log {
+		if e.op == opInsert {
+			state[e.v] = true
+		} else {
+			delete(state, e.v)
+		}
+	}
+	fresh := make([]telEntry, 0, len(state))
+	for v := range state {
+		fresh = append(fresh, telEntry{v: v, op: opInsert})
+	}
+	b.log = fresh
+	b.live = len(fresh)
+}
+
+// ForEachSuccessor scans the whole TEL to materialise the live set — the
+// sequential-scan behaviour the paper measures.
+func (s *Store) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	b := s.blocks[u]
+	if b == nil {
+		return
+	}
+	state := make(map[uint64]bool, b.live)
+	for _, e := range b.log {
+		if e.op == opInsert {
+			state[e.v] = true
+		} else {
+			delete(state, e.v)
+		}
+	}
+	for v := range state {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// ForEachNode calls fn for every node with a vertex block.
+func (s *Store) ForEachNode(fn func(u uint64) bool) {
+	for u := range s.blocks {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// NumEdges returns the number of live edges.
+func (s *Store) NumEdges() uint64 { return s.edges }
+
+// MemoryUsage counts vertex blocks (pointer + header) and log capacity
+// at 16 bytes per TEL entry (v, op and the per-entry metadata LiveGraph
+// keeps for transactions).
+func (s *Store) MemoryUsage() uint64 {
+	var total uint64 = 48
+	for _, b := range s.blocks {
+		total += 8 + 8 + 24 + 8 // map slot + block ptr + slice header + live counter
+		total += uint64(cap(b.log)) * 16
+	}
+	return total
+}

@@ -1,0 +1,177 @@
+// Package sortledton re-implements the data-structure essence of
+// Sortledton [VLDB'22]: an adjacency index mapping each node to an
+// adjacency set kept as a sequence of sorted blocks (an unrolled skip
+// list). Small sets stay in one sorted vector; large sets split into
+// fixed-capacity blocks, giving the O(log |E|) edge operations of the
+// paper's Table III.
+package sortledton
+
+import "sort"
+
+// blockCap is the unrolled-list block capacity (Sortledton uses blocks
+// sized to cache lines; 128 ids ≈ 1 KiB).
+const blockCap = 128
+
+// adjacencySet is a sequence of sorted blocks; block boundaries keep the
+// global order (every id in block i < every id in block i+1).
+type adjacencySet struct {
+	blocks [][]uint64
+	size   int
+}
+
+// findBlock returns the index of the block that would contain v.
+func (a *adjacencySet) findBlock(v uint64) int {
+	lo, hi := 0, len(a.blocks)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		last := a.blocks[mid][len(a.blocks[mid])-1]
+		if last < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (a *adjacencySet) contains(v uint64) bool {
+	if a.size == 0 {
+		return false
+	}
+	b := a.blocks[a.findBlock(v)]
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= v })
+	return i < len(b) && b[i] == v
+}
+
+func (a *adjacencySet) insert(v uint64) bool {
+	if a.size == 0 {
+		a.blocks = append(a.blocks, []uint64{v})
+		a.size = 1
+		return true
+	}
+	bi := a.findBlock(v)
+	b := a.blocks[bi]
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= v })
+	if i < len(b) && b[i] == v {
+		return false
+	}
+	b = append(b, 0)
+	copy(b[i+1:], b[i:])
+	b[i] = v
+	if len(b) > blockCap {
+		// Split the block in half, preserving order.
+		mid := len(b) / 2
+		left := make([]uint64, mid, blockCap+1)
+		copy(left, b[:mid])
+		right := make([]uint64, len(b)-mid, blockCap+1)
+		copy(right, b[mid:])
+		a.blocks = append(a.blocks, nil)
+		copy(a.blocks[bi+2:], a.blocks[bi+1:])
+		a.blocks[bi], a.blocks[bi+1] = left, right
+	} else {
+		a.blocks[bi] = b
+	}
+	a.size++
+	return true
+}
+
+func (a *adjacencySet) remove(v uint64) bool {
+	if a.size == 0 {
+		return false
+	}
+	bi := a.findBlock(v)
+	b := a.blocks[bi]
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= v })
+	if i >= len(b) || b[i] != v {
+		return false
+	}
+	copy(b[i:], b[i+1:])
+	a.blocks[bi] = b[:len(b)-1]
+	if len(a.blocks[bi]) == 0 {
+		a.blocks = append(a.blocks[:bi], a.blocks[bi+1:]...)
+	}
+	a.size--
+	return true
+}
+
+// Store is a Sortledton-style graph.
+type Store struct {
+	index map[uint64]*adjacencySet
+	edges uint64
+}
+
+// New returns an empty Sortledton-style store.
+func New() *Store { return &Store{index: make(map[uint64]*adjacencySet)} }
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new.
+func (s *Store) InsertEdge(u, v uint64) bool {
+	set := s.index[u]
+	if set == nil {
+		set = &adjacencySet{}
+		s.index[u] = set
+	}
+	if !set.insert(v) {
+		return false
+	}
+	s.edges++
+	return true
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (s *Store) HasEdge(u, v uint64) bool {
+	set := s.index[u]
+	return set != nil && set.contains(v)
+}
+
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
+func (s *Store) DeleteEdge(u, v uint64) bool {
+	set := s.index[u]
+	if set == nil || !set.remove(v) {
+		return false
+	}
+	if set.size == 0 {
+		delete(s.index, u)
+	}
+	s.edges--
+	return true
+}
+
+// ForEachSuccessor visits u's neighbours in ascending order — the sorted
+// property Sortledton exploits for set intersections.
+func (s *Store) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	set := s.index[u]
+	if set == nil {
+		return
+	}
+	for _, b := range set.blocks {
+		for _, v := range b {
+			if !fn(v) {
+				return
+			}
+		}
+	}
+}
+
+// ForEachNode calls fn for every node with out-edges.
+func (s *Store) ForEachNode(fn func(u uint64) bool) {
+	for u := range s.index {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// NumEdges returns the number of stored edges.
+func (s *Store) NumEdges() uint64 { return s.edges }
+
+// MemoryUsage counts the adjacency index slots and block capacities.
+func (s *Store) MemoryUsage() uint64 {
+	var total uint64 = 48
+	for _, set := range s.index {
+		total += 8 + 8 + 24 + 8 // map slot + set ptr + blocks header + size
+		for _, b := range set.blocks {
+			total += 24 + uint64(cap(b))*8
+		}
+	}
+	return total
+}

@@ -1,0 +1,270 @@
+// Package spruce re-implements the data-structure essence of Spruce
+// [SIGMOD'24]: a vEB-tree-like node index plus adjacency-based edge
+// storage. The 8-byte node identifier splits 4/2/2 — the high 4 bytes
+// key a hash table whose entries own two levels of 65536-bit bit
+// vectors (one per 2-byte chunk) with packed pointer arrays indexed by
+// popcount; the leaves point at sorted adjacency vectors holding the
+// edges. This keeps memory low but, as the paper notes, "still needs to
+// record quite a few pointers".
+package spruce
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// bitvec is a 65536-bit vector with a packed child array: child i of a
+// set bit is found by popcount rank, the vEB-style trick Spruce uses.
+type bitvec[T any] struct {
+	words [1024]uint64
+	kids  []T // one per set bit, in bit order
+}
+
+func (b *bitvec[T]) rank(i uint16) int {
+	w, off := int(i)/64, uint(i)%64
+	r := bits.OnesCount64(b.words[w] & ((1 << off) - 1))
+	for j := 0; j < w; j++ {
+		r += bits.OnesCount64(b.words[j])
+	}
+	return r
+}
+
+func (b *bitvec[T]) get(i uint16) *T {
+	w, off := int(i)/64, uint(i)%64
+	if b.words[w]&(1<<off) == 0 {
+		return nil
+	}
+	return &b.kids[b.rank(i)]
+}
+
+func (b *bitvec[T]) set(i uint16, zero T) *T {
+	w, off := int(i)/64, uint(i)%64
+	r := b.rank(i)
+	if b.words[w]&(1<<off) == 0 {
+		b.words[w] |= 1 << off
+		b.kids = append(b.kids, zero)
+		copy(b.kids[r+1:], b.kids[r:])
+		b.kids[r] = zero
+	}
+	return &b.kids[r]
+}
+
+func (b *bitvec[T]) clear(i uint16) {
+	w, off := int(i)/64, uint(i)%64
+	if b.words[w]&(1<<off) == 0 {
+		return
+	}
+	r := b.rank(i)
+	b.words[w] &^= 1 << off
+	b.kids = append(b.kids[:r], b.kids[r+1:]...)
+}
+
+// leaf is the adjacency storage for one node: a sorted neighbour vector.
+type leaf struct {
+	adj []uint64
+}
+
+// middle maps the third 2-byte chunk of u to leaves.
+type middle struct {
+	lv bitvec[*leaf]
+}
+
+// Store is a Spruce-style graph store.
+type Store struct {
+	top   map[uint32]*middleL2 // keyed by the high 4 bytes of u
+	edges uint64
+}
+
+// middleL2 maps bytes 5-6 of u to middle vectors over bytes 7-8.
+type middleL2 struct {
+	mv bitvec[*middle]
+}
+
+// New returns an empty Spruce-style store.
+func New() *Store { return &Store{top: make(map[uint32]*middleL2)} }
+
+func split(u uint64) (hi uint32, mid, lo uint16) {
+	return uint32(u >> 32), uint16(u >> 16), uint16(u)
+}
+
+// leafFor returns u's adjacency leaf, creating the index path if create
+// is set.
+func (s *Store) leafFor(u uint64, create bool) *leaf {
+	hi, mid, lo := split(u)
+	l2 := s.top[hi]
+	if l2 == nil {
+		if !create {
+			return nil
+		}
+		l2 = &middleL2{}
+		s.top[hi] = l2
+	}
+	mp := l2.mv.get(mid)
+	if mp == nil {
+		if !create {
+			return nil
+		}
+		mp = l2.mv.set(mid, nil)
+	}
+	if *mp == nil {
+		if !create {
+			return nil
+		}
+		*mp = &middle{}
+	}
+	lp := (*mp).lv.get(lo)
+	if lp == nil {
+		if !create {
+			return nil
+		}
+		lp = (*mp).lv.set(lo, nil)
+	}
+	if *lp == nil {
+		if !create {
+			return nil
+		}
+		*lp = &leaf{}
+	}
+	return *lp
+}
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new.
+func (s *Store) InsertEdge(u, v uint64) bool {
+	lf := s.leafFor(u, true)
+	i := sort.Search(len(lf.adj), func(i int) bool { return lf.adj[i] >= v })
+	if i < len(lf.adj) && lf.adj[i] == v {
+		return false
+	}
+	lf.adj = append(lf.adj, 0)
+	copy(lf.adj[i+1:], lf.adj[i:])
+	lf.adj[i] = v
+	s.edges++
+	return true
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (s *Store) HasEdge(u, v uint64) bool {
+	lf := s.leafFor(u, false)
+	if lf == nil {
+		return false
+	}
+	i := sort.Search(len(lf.adj), func(i int) bool { return lf.adj[i] >= v })
+	return i < len(lf.adj) && lf.adj[i] == v
+}
+
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
+func (s *Store) DeleteEdge(u, v uint64) bool {
+	lf := s.leafFor(u, false)
+	if lf == nil {
+		return false
+	}
+	i := sort.Search(len(lf.adj), func(i int) bool { return lf.adj[i] >= v })
+	if i >= len(lf.adj) || lf.adj[i] != v {
+		return false
+	}
+	lf.adj = append(lf.adj[:i], lf.adj[i+1:]...)
+	s.edges--
+	if len(lf.adj) == 0 {
+		s.unlink(u)
+	}
+	return true
+}
+
+// unlink removes u's empty leaf from the index path.
+func (s *Store) unlink(u uint64) {
+	hi, mid, lo := split(u)
+	l2 := s.top[hi]
+	if l2 == nil {
+		return
+	}
+	mp := l2.mv.get(mid)
+	if mp == nil || *mp == nil {
+		return
+	}
+	(*mp).lv.clear(lo)
+	if len((*mp).lv.kids) == 0 {
+		l2.mv.clear(mid)
+	}
+	if len(l2.mv.kids) == 0 {
+		delete(s.top, hi)
+	}
+}
+
+// ForEachSuccessor visits u's neighbours in ascending order.
+func (s *Store) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	lf := s.leafFor(u, false)
+	if lf == nil {
+		return
+	}
+	for _, v := range lf.adj {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// forEachSet walks the set bits of a bitvec in index order.
+func forEachSet[T any](b *bitvec[T], fn func(i uint16, kid *T) bool) {
+	kid := 0
+	for w, word := range b.words {
+		for word != 0 {
+			off := bits.TrailingZeros64(word)
+			word &^= 1 << uint(off)
+			if !fn(uint16(w*64+off), &b.kids[kid]) {
+				return
+			}
+			kid++
+		}
+	}
+}
+
+// ForEachNode walks the whole index via set-bit iteration.
+func (s *Store) ForEachNode(fn func(u uint64) bool) {
+	for hi, l2 := range s.top {
+		stop := false
+		forEachSet(&l2.mv, func(mid uint16, mp **middle) bool {
+			if *mp == nil {
+				return true
+			}
+			forEachSet(&(*mp).lv, func(lo uint16, lp **leaf) bool {
+				if *lp == nil {
+					return true
+				}
+				u := uint64(hi)<<32 | uint64(mid)<<16 | uint64(lo)
+				if !fn(u) {
+					stop = true
+				}
+				return !stop
+			})
+			return !stop
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// NumEdges returns the number of stored edges.
+func (s *Store) NumEdges() uint64 { return s.edges }
+
+// MemoryUsage counts the index bit vectors, packed pointer arrays and
+// adjacency capacity.
+func (s *Store) MemoryUsage() uint64 {
+	var total uint64 = 48
+	for _, l2 := range s.top {
+		total += 8 + 8 + 8192 + 24 + uint64(cap(l2.mv.kids))*8
+		for _, mp := range l2.mv.kids {
+			if mp == nil {
+				continue
+			}
+			total += 8192 + 24 + uint64(cap(mp.lv.kids))*8
+			for _, lp := range mp.lv.kids {
+				if lp == nil {
+					continue
+				}
+				total += 24 + uint64(cap(lp.adj))*8
+			}
+		}
+	}
+	return total
+}

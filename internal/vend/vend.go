@@ -1,0 +1,112 @@
+// Package vend implements a VEND-style vertex-encoding filter for edge
+// nonexistence determination (Li et al., ICDE 2023 — reference [46] of
+// the CuckooGraph paper, whose §II-B leaves "applying VEND to
+// CuckooGraph as future work"; this package is that extension).
+//
+// The idea: most node pairs in a real graph have no edge, so a compact
+// per-vertex summary of each node's neighbours can answer most edge
+// queries negatively without touching the graph store at all. VEND
+// keeps two encodings per vertex and uses whichever is precise:
+//
+//   - a range encoding — the [min,max] interval of neighbour ids, exact
+//     when a node's neighbours cluster (common with locality-assigned
+//     ids);
+//   - a hash encoding — a 256-bit fingerprint set of the neighbours,
+//     giving a per-edge false-positive rate around deg/256 for small
+//     degrees.
+//
+// A query answers "definitely absent" when either encoding rules the
+// edge out; otherwise "maybe", and the caller probes the real store.
+// Deletions make an encoding stale conservatively: the filter keeps the
+// deleted neighbour's traces until Rebuild, so it never produces a
+// false negative.
+package vend
+
+import "cuckoograph/internal/hashutil"
+
+// fpBits is the hash-encoding size in bits per vertex.
+const fpBits = 256
+
+// nodeFilter summarises one vertex's out-neighbours.
+type nodeFilter struct {
+	lo, hi uint64              // range encoding
+	fp     [fpBits / 64]uint64 // hash encoding (fingerprint bitmap)
+	n      int                 // live neighbour count
+}
+
+func fpIndex(v uint64) (word int, bit uint64) {
+	h := hashutil.Hash64(v, 0x7E4D)
+	i := h & (fpBits - 1)
+	return int(i / 64), 1 << (i % 64)
+}
+
+// Filter is the per-graph VEND index.
+type Filter struct {
+	nodes map[uint64]*nodeFilter
+}
+
+// New returns an empty filter.
+func New() *Filter { return &Filter{nodes: make(map[uint64]*nodeFilter)} }
+
+// AddEdge records ⟨u,v⟩ in u's encodings.
+func (f *Filter) AddEdge(u, v uint64) {
+	nf := f.nodes[u]
+	if nf == nil {
+		nf = &nodeFilter{lo: v, hi: v}
+		f.nodes[u] = nf
+	}
+	if v < nf.lo {
+		nf.lo = v
+	}
+	if v > nf.hi {
+		nf.hi = v
+	}
+	w, b := fpIndex(v)
+	nf.fp[w] |= b
+	nf.n++
+}
+
+// RemoveEdge notes a deletion. The encodings are monotone, so the entry
+// stays conservative (possible false positives, never false negatives);
+// an empty vertex is dropped exactly.
+func (f *Filter) RemoveEdge(u, v uint64) {
+	nf := f.nodes[u]
+	if nf == nil {
+		return
+	}
+	nf.n--
+	if nf.n <= 0 {
+		delete(f.nodes, u)
+	}
+}
+
+// MaybeHasEdge reports whether ⟨u,v⟩ can exist. A false return is
+// definitive: the edge is certainly absent.
+func (f *Filter) MaybeHasEdge(u, v uint64) bool {
+	nf := f.nodes[u]
+	if nf == nil {
+		return false // u has no out-edges at all
+	}
+	if v < nf.lo || v > nf.hi {
+		return false // outside the range encoding
+	}
+	w, b := fpIndex(v)
+	return nf.fp[w]&b != 0
+}
+
+// Rebuild reconstructs the filter exactly from a neighbour iterator,
+// clearing the slack left by deletions.
+func (f *Filter) Rebuild(forEachEdge func(fn func(u, v uint64))) {
+	f.nodes = make(map[uint64]*nodeFilter, len(f.nodes))
+	forEachEdge(func(u, v uint64) { f.AddEdge(u, v) })
+}
+
+// Nodes returns the number of vertices summarised.
+func (f *Filter) Nodes() int { return len(f.nodes) }
+
+// MemoryBytes counts the filter's structural bytes: per vertex a map
+// slot, the range pair, the fingerprint words and the counter.
+func (f *Filter) MemoryBytes() uint64 {
+	per := uint64(8 + 8 + 16 + fpBits/8 + 8)
+	return uint64(len(f.nodes))*per + 48
+}

@@ -1,0 +1,165 @@
+package vend
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cuckoograph/internal/hashutil"
+)
+
+// TestNoFalseNegatives is the filter's core contract: every inserted
+// edge must answer maybe=true, through inserts and deletes.
+func TestNoFalseNegatives(t *testing.T) {
+	f := New()
+	rng := hashutil.NewRNG(1)
+	type pair struct{ u, v uint64 }
+	live := map[pair]bool{}
+	for i := 0; i < 20000; i++ {
+		p := pair{rng.Uint64n(500), rng.Uint64n(100000)}
+		if rng.Intn(4) == 0 {
+			if live[p] {
+				f.RemoveEdge(p.u, p.v)
+				delete(live, p)
+			}
+		} else if !live[p] {
+			f.AddEdge(p.u, p.v)
+			live[p] = true
+		}
+		if i%1000 == 0 {
+			for q := range live {
+				if !f.MaybeHasEdge(q.u, q.v) {
+					t.Fatalf("false negative for live edge %v", q)
+				}
+				break
+			}
+		}
+	}
+	for q := range live {
+		if !f.MaybeHasEdge(q.u, q.v) {
+			t.Fatalf("false negative for live edge %v at end", q)
+		}
+	}
+}
+
+// TestDefiniteNegatives checks the two certain-absent paths: unknown
+// source and out-of-range target.
+func TestDefiniteNegatives(t *testing.T) {
+	f := New()
+	f.AddEdge(1, 100)
+	f.AddEdge(1, 200)
+	if f.MaybeHasEdge(2, 100) {
+		t.Fatal("unknown source not filtered")
+	}
+	if f.MaybeHasEdge(1, 99) || f.MaybeHasEdge(1, 201) {
+		t.Fatal("out-of-range target not filtered")
+	}
+}
+
+// TestFalsePositiveRate measures the hash-encoding precision: for a
+// degree-32 node, random in-range probes should be mostly filtered.
+func TestFalsePositiveRate(t *testing.T) {
+	f := New()
+	rng := hashutil.NewRNG(2)
+	present := map[uint64]bool{}
+	for len(present) < 32 {
+		v := rng.Uint64n(1 << 30)
+		if !present[v] {
+			present[v] = true
+			f.AddEdge(7, v)
+		}
+	}
+	fp, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		v := rng.Uint64n(1 << 30)
+		if present[v] {
+			continue
+		}
+		if f.MaybeHasEdge(7, v) {
+			fp++
+		}
+	}
+	// deg/fpBits = 32/256 = 12.5% expected; allow slack.
+	if rate := float64(fp) / float64(trials); rate > 0.25 {
+		t.Fatalf("false-positive rate %.3f too high", rate)
+	}
+}
+
+func TestRemoveEdgeDropsEmptyVertex(t *testing.T) {
+	f := New()
+	f.AddEdge(3, 4)
+	f.RemoveEdge(3, 4)
+	if f.MaybeHasEdge(3, 4) {
+		t.Fatal("empty vertex still answers maybe")
+	}
+	if f.Nodes() != 0 {
+		t.Fatalf("nodes = %d, want 0", f.Nodes())
+	}
+	f.RemoveEdge(99, 1) // no-op on unknown vertex
+}
+
+func TestRebuildTightensFilter(t *testing.T) {
+	f := New()
+	for v := uint64(0); v < 64; v++ {
+		f.AddEdge(1, v*1000)
+	}
+	// Delete everything but one edge; the stale encodings stay wide.
+	for v := uint64(1); v < 64; v++ {
+		f.RemoveEdge(1, v*1000)
+	}
+	wideFPs := 0
+	for v := uint64(1); v < 64; v++ {
+		if f.MaybeHasEdge(1, v*1000) {
+			wideFPs++
+		}
+	}
+	f.Rebuild(func(fn func(u, v uint64)) { fn(1, 0) })
+	if !f.MaybeHasEdge(1, 0) {
+		t.Fatal("surviving edge lost in rebuild")
+	}
+	tightFPs := 0
+	for v := uint64(1); v < 64; v++ {
+		if f.MaybeHasEdge(1, v*1000) {
+			tightFPs++
+		}
+	}
+	if tightFPs >= wideFPs && wideFPs > 0 {
+		t.Fatalf("rebuild did not tighten: %d → %d false positives", wideFPs, tightFPs)
+	}
+}
+
+func TestMemoryBytesScalesWithNodes(t *testing.T) {
+	f := New()
+	empty := f.MemoryBytes()
+	for u := uint64(0); u < 100; u++ {
+		f.AddEdge(u, u+1)
+	}
+	if f.MemoryBytes() <= empty {
+		t.Fatal("memory did not grow with vertices")
+	}
+}
+
+func TestQuickNeverFalseNegative(t *testing.T) {
+	prop := func(us, vs []uint8) bool {
+		f := New()
+		type pair struct{ u, v uint64 }
+		added := map[pair]bool{}
+		for i := range us {
+			v := uint64(0)
+			if i < len(vs) {
+				v = uint64(vs[i])
+			}
+			p := pair{uint64(us[i]), v}
+			f.AddEdge(p.u, p.v)
+			added[p] = true
+		}
+		for p := range added {
+			if !f.MaybeHasEdge(p.u, p.v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
