@@ -8,7 +8,8 @@
 //	cgbench [-scale N] [-seed N] <experiment>
 //
 // Experiments: table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 kicks all
+// fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 kicks
+// concurrent parallel all
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"cuckoograph/internal/analytics"
 	"cuckoograph/internal/bench"
 	"cuckoograph/internal/core"
 	"cuckoograph/internal/cuckoo"
@@ -28,6 +30,7 @@ import (
 	"cuckoograph/internal/neolike"
 	"cuckoograph/internal/redislike"
 	"cuckoograph/internal/resp"
+	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/stores"
 )
 
@@ -39,7 +42,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|all>")
+		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|all>")
 		os.Exit(2)
 	}
 	run(flag.Arg(0))
@@ -82,10 +85,14 @@ func run(name string) {
 		fig18()
 	case "kicks":
 		kicks()
+	case "concurrent":
+		concurrent()
+	case "parallel":
+		parallelAnalytics()
 	case "all":
 		for _, n := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks"} {
+			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "concurrent", "parallel"} {
 			run(n)
 			fmt.Println()
 		}
@@ -386,6 +393,64 @@ func fig18() {
 			fmt.Sprintf("%.4f", insert.Seconds()), fmt.Sprintf("%.4f", query.Seconds())})
 	}
 	bench.PrintTable(os.Stdout, []string{"variant", "insert s", "query s"}, rows)
+}
+
+// concurrent measures write/read scaling of the sharded engine against
+// the single-global-lock baseline (the pre-sharding SafeGraph shape):
+// W writer goroutines insert disjoint slices of the CAIDA stream while
+// W/2 reader goroutines issue point queries.
+func concurrent() {
+	fmt.Printf("== Concurrent workload: sharded vs global lock, aggregate Mops (CAIDA, scale 1/%d) ==\n", *scale)
+	st := stream("CAIDA")
+	baseline := bench.LockedFactory(graphstore.Factory{Name: "CuckooGraph", New: stores.NewCuckooGraph})
+	// Pin the shard count above the writer count so shard-level locking
+	// is exercised even when GOMAXPROCS is small.
+	shardedF := graphstore.Factory{
+		Name: "CuckooGraph-Sharded",
+		New:  func() graphstore.Store { return sharded.New(sharded.Config{Shards: 16}) },
+	}
+	rows := [][]string{}
+	for _, w := range []int{1, 2, 4, 8} {
+		r := w / 2
+		lock := bench.ConcurrentOps(baseline, st, w, r)
+		shrd := bench.ConcurrentOps(shardedF, st, w, r)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", w), fmt.Sprintf("%d", r),
+			fmt.Sprintf("%.3f", lock.WriteMops), fmt.Sprintf("%.3f", shrd.WriteMops),
+			bench.Ratio(shrd.WriteMops, lock.WriteMops),
+			fmt.Sprintf("%.3f", lock.ReadMops), fmt.Sprintf("%.3f", shrd.ReadMops),
+		})
+	}
+	bench.PrintTable(os.Stdout,
+		[]string{"writers", "readers", "lock ins", "sharded ins", "speedup", "lock read", "sharded read"},
+		rows)
+}
+
+// parallelAnalytics measures the worker-pool BFS and PageRank against
+// their sequential counterparts on a sharded graph of the CAIDA stream.
+func parallelAnalytics() {
+	fmt.Printf("== Parallel analytics: worker-pool vs sequential, seconds (CAIDA, scale 1/%d) ==\n", *scale)
+	g := sharded.New(sharded.Config{})
+	for _, e := range stream("CAIDA") {
+		g.InsertEdge(e.U, e.V)
+	}
+	root := analytics.TopDegreeNodes(g, 1)
+	if len(root) == 0 {
+		fmt.Println("empty graph, nothing to analyse")
+		return
+	}
+	rows := [][]string{}
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		analytics.ParallelBFS(g, root[0], workers)
+		bfs := time.Since(start)
+		start = time.Now()
+		analytics.ParallelPageRank(g, 10, workers)
+		pr := time.Since(start)
+		rows = append(rows, []string{fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.4f", bfs.Seconds()), fmt.Sprintf("%.4f", pr.Seconds())})
+	}
+	bench.PrintTable(os.Stdout, []string{"workers", "BFS s", "PageRank(10) s"}, rows)
 }
 
 // kicks reproduces the §IV-A measurement: average insertions per item.

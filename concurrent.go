@@ -2,19 +2,28 @@ package cuckoograph
 
 import (
 	"io"
-	"sync"
 
+	"cuckoograph/internal/analytics"
 	"cuckoograph/internal/core"
+	"cuckoograph/internal/sharded"
 )
 
-// SafeGraph is a Graph guarded by a read-write lock: point queries and
-// traversals run concurrently, mutations serialise. The underlying
-// structure is the same single-writer CuckooGraph; this wrapper is the
-// deployment shape used by the server integrations (§V-F runs the
-// structure behind Redis's command loop).
+// SafeGraph is the concurrency-safe CuckooGraph: a thin alias over the
+// sharded engine, which hash-partitions edges by source node across
+// Options.ShardCount independent shards (each a private single-writer
+// CuckooGraph behind its own read-write lock). Mutations on different
+// shards proceed in parallel; point queries and traversals take only
+// the owning shard's read lock. This is the deployment shape used by
+// the server integrations (§V-F runs the structure behind Redis's
+// command loop).
+//
+// Traversal callbacks run on a point-in-time copy of the relevant
+// successor or node set, taken under the shard read lock and invoked
+// after it is released — so callbacks may re-enter the graph, including
+// mutating it, without deadlocking.
 type SafeGraph struct {
-	mu sync.RWMutex
-	g  *Graph
+	s       *sharded.Graph
+	workers int
 }
 
 // NewSafe returns a concurrency-safe basic CuckooGraph.
@@ -23,71 +32,76 @@ func NewSafe() *SafeGraph { return NewSafeWithOptions(Options{}) }
 // NewSafeWithOptions returns a concurrency-safe graph with the given
 // tuning.
 func NewSafeWithOptions(o Options) *SafeGraph {
-	return &SafeGraph{g: NewWithOptions(o)}
+	return &SafeGraph{s: sharded.New(o.shardedConfig()), workers: o.Workers()}
 }
+
+// LoadSafe reads a snapshot produced by Save (or by Graph.Save — the
+// formats are identical) into a fresh SafeGraph. Snapshots round-trip
+// across shard counts.
+func LoadSafe(r io.Reader, o Options) (*SafeGraph, error) {
+	s, err := sharded.Load(r, o.shardedConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &SafeGraph{s: s, workers: o.Workers()}, nil
+}
+
+// Shards returns the number of partitions backing this graph.
+func (s *SafeGraph) Shards() int { return s.s.Shards() }
 
 // InsertEdge adds ⟨u,v⟩, reporting whether it is new.
-func (s *SafeGraph) InsertEdge(u, v NodeID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.g.InsertEdge(u, v)
-}
+func (s *SafeGraph) InsertEdge(u, v NodeID) bool { return s.s.InsertEdge(u, v) }
 
 // DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
-func (s *SafeGraph) DeleteEdge(u, v NodeID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.g.DeleteEdge(u, v)
-}
+func (s *SafeGraph) DeleteEdge(u, v NodeID) bool { return s.s.DeleteEdge(u, v) }
 
 // HasEdge reports whether ⟨u,v⟩ is stored.
-func (s *SafeGraph) HasEdge(u, v NodeID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.HasEdge(u, v)
+func (s *SafeGraph) HasEdge(u, v NodeID) bool { return s.s.HasEdge(u, v) }
+
+// ForEachSuccessor calls fn for each successor of u until fn returns
+// false, without requiring the caller to manage any lock.
+func (s *SafeGraph) ForEachSuccessor(u NodeID, fn func(v NodeID) bool) {
+	s.s.ForEachSuccessor(u, fn)
 }
+
+// ForEachNode calls fn for every node with at least one out-edge.
+func (s *SafeGraph) ForEachNode(fn func(u NodeID) bool) { s.s.ForEachNode(fn) }
 
 // Successors returns u's successors as a fresh slice.
-func (s *SafeGraph) Successors(u NodeID) []NodeID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.Successors(u)
-}
+func (s *SafeGraph) Successors(u NodeID) []NodeID { return s.s.Successors(u) }
 
 // Degree returns u's out-degree.
-func (s *SafeGraph) Degree(u NodeID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.Degree(u)
-}
+func (s *SafeGraph) Degree(u NodeID) int { return s.s.Degree(u) }
 
 // NumEdges returns the number of distinct stored edges.
-func (s *SafeGraph) NumEdges() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.NumEdges()
-}
+func (s *SafeGraph) NumEdges() uint64 { return s.s.NumEdges() }
 
 // NumNodes returns the number of distinct source nodes.
-func (s *SafeGraph) NumNodes() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.NumNodes()
+func (s *SafeGraph) NumNodes() uint64 { return s.s.NumNodes() }
+
+// MemoryUsage returns the structural bytes summed across shards.
+func (s *SafeGraph) MemoryUsage() uint64 { return s.s.MemoryUsage() }
+
+// Stats returns structural counters merged across shards.
+func (s *SafeGraph) Stats() core.Stats { return s.s.Stats() }
+
+// BFS traverses from root with the frontier expansion fanned out over
+// Options.Parallelism workers, returning the visited nodes in level
+// order.
+func (s *SafeGraph) BFS(root NodeID) []NodeID {
+	return analytics.ParallelBFS(s.s, root, s.workers)
 }
 
-// MemoryUsage returns the structural bytes held by the graph.
-func (s *SafeGraph) MemoryUsage() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.MemoryUsage()
+// PageRank runs iters rounds of the power method (damping 0.85) with
+// each iteration's contribution pass partitioned over
+// Options.Parallelism workers.
+func (s *SafeGraph) PageRank(iters int) map[NodeID]float64 {
+	return analytics.ParallelPageRank(s.s, iters, s.workers)
 }
 
-// Save snapshots the graph to w while holding the read lock.
-func (s *SafeGraph) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.Save(w)
-}
+// Save snapshots the graph while holding every shard's read lock, so
+// the snapshot is a consistent cut even under concurrent mutation.
+func (s *SafeGraph) Save(w io.Writer) error { return s.s.Save(w) }
 
 // Save writes a binary snapshot of the graph (header + fixed-width edge
 // records) suitable for Load.

@@ -55,6 +55,106 @@ func TestSafeGraphConcurrentReadersAndWriters(t *testing.T) {
 	}
 }
 
+func TestSafeGraphTraversalAndStats(t *testing.T) {
+	g := cuckoograph.NewSafeWithOptions(cuckoograph.Options{ShardCount: 4})
+	if g.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", g.Shards())
+	}
+	for i := uint64(0); i < 500; i++ {
+		g.InsertEdge(i%25, i)
+	}
+	nodes := 0
+	g.ForEachNode(func(u cuckoograph.NodeID) bool {
+		nodes++
+		return true
+	})
+	if nodes != 25 {
+		t.Fatalf("ForEachNode visited %d, want 25", nodes)
+	}
+	succ := 0
+	g.ForEachSuccessor(3, func(v cuckoograph.NodeID) bool {
+		succ++
+		return true
+	})
+	if succ != g.Degree(3) || succ == 0 {
+		t.Fatalf("ForEachSuccessor saw %d, Degree = %d", succ, g.Degree(3))
+	}
+	// Callbacks may re-enter the graph, including mutating it.
+	g.ForEachSuccessor(3, func(v cuckoograph.NodeID) bool {
+		g.InsertEdge(v, 3)
+		return true
+	})
+	if !g.HasEdge(28, 3) {
+		t.Fatal("mutation inside traversal callback lost")
+	}
+	st := g.Stats()
+	if st.Edges != g.NumEdges() || st.Nodes != g.NumNodes() {
+		t.Fatalf("stats %d/%d disagree with counters %d/%d",
+			st.Edges, st.Nodes, g.NumEdges(), g.NumNodes())
+	}
+}
+
+func TestSafeGraphParallelAnalytics(t *testing.T) {
+	g := cuckoograph.NewSafeWithOptions(cuckoograph.Options{ShardCount: 4, Parallelism: 4})
+	for i := uint64(0); i < 300; i++ {
+		g.InsertEdge(i, (i+1)%300)
+		g.InsertEdge(i, (i*7+3)%300)
+	}
+	order := g.BFS(0)
+	if len(order) != 300 {
+		t.Fatalf("BFS visited %d nodes, want 300", len(order))
+	}
+	rank := g.PageRank(20)
+	if len(rank) != 300 {
+		t.Fatalf("PageRank ranked %d nodes, want 300", len(rank))
+	}
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("PageRank mass = %g, want ≈ 1", sum)
+	}
+}
+
+func TestLoadSafeAcrossShardCounts(t *testing.T) {
+	// Snapshots round-trip between 1-shard and P-shard graphs, and
+	// between single-writer Graph and SafeGraph.
+	src := cuckoograph.NewSafeWithOptions(cuckoograph.Options{ShardCount: 1})
+	for i := uint64(0); i < 2000; i++ {
+		src.InsertEdge(i%100, i)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wide, err := cuckoograph.LoadSafe(bytes.NewReader(buf.Bytes()), cuckoograph.Options{ShardCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NumEdges() != src.NumEdges() || wide.NumNodes() != src.NumNodes() {
+		t.Fatalf("1→8 shards: %d/%d, want %d/%d",
+			wide.NumEdges(), wide.NumNodes(), src.NumEdges(), src.NumNodes())
+	}
+	buf.Reset()
+	if err := wide.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A sharded snapshot loads into the single-writer Graph too.
+	plain, err := cuckoograph.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumEdges() != src.NumEdges() {
+		t.Fatalf("sharded snapshot into Graph: %d edges, want %d", plain.NumEdges(), src.NumEdges())
+	}
+	for i := uint64(0); i < 2000; i += 53 {
+		if !plain.HasEdge(i%100, i) {
+			t.Fatalf("edge (%d,%d) lost in round trip", i%100, i)
+		}
+	}
+}
+
 func TestSafeGraphDeleteAndSave(t *testing.T) {
 	g := cuckoograph.NewSafe()
 	g.InsertEdge(1, 2)

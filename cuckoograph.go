@@ -1,8 +1,11 @@
 package cuckoograph
 
 import (
+	"runtime"
+
 	"cuckoograph/internal/core"
 	"cuckoograph/internal/graphstore"
+	"cuckoograph/internal/sharded"
 )
 
 // NodeID identifies a graph node (an 8-byte identifier, as in the paper).
@@ -38,6 +41,15 @@ type Options struct {
 	DenylistDisabled bool
 	// Seed fixes the hash seeds and eviction choices for reproducibility.
 	Seed uint64
+	// ShardCount is P, the number of source-node partitions used by the
+	// concurrency-safe SafeGraph. It is rounded up to a power of two;
+	// zero defaults to runtime.GOMAXPROCS(0). Single-writer Graph,
+	// Weighted and Multi ignore it.
+	ShardCount int
+	// Parallelism is the worker count for the parallel analytics built
+	// on a SafeGraph (BFS, PageRank). Zero defaults to
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 func (o Options) coreConfig() core.Config {
@@ -52,6 +64,19 @@ func (o Options) coreConfig() core.Config {
 		DisableDenylist: o.DenylistDisabled,
 		Seed:            o.Seed,
 	}
+}
+
+func (o Options) shardedConfig() sharded.Config {
+	return sharded.Config{Core: o.coreConfig(), Shards: o.ShardCount}
+}
+
+// Workers resolves Options.Parallelism: zero or negative means
+// runtime.GOMAXPROCS(0).
+func (o Options) Workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Graph is the basic version of CuckooGraph: a directed dynamic graph of

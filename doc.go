@@ -32,6 +32,29 @@
 // property-graph workloads where several distinct edges connect the same
 // node pair (§V-G).
 //
+// # Concurrency
+//
+// Graph, Weighted and Multi are single-writer structures. For shared
+// use, NewSafe returns a SafeGraph backed by the sharded concurrent
+// engine: edges are hash-partitioned by source node across
+// Options.ShardCount shards (rounded up to a power of two, defaulting
+// to runtime.GOMAXPROCS(0)), each shard a private CuckooGraph behind
+// its own read-write lock. All state for a node u — its L-CHT cell and
+// its S-CHT chain — lives in exactly one shard, so mutations on
+// different shards proceed fully in parallel and queries take only the
+// owning shard's read lock. Aggregate counters are atomics; Stats and
+// MemoryUsage merge across shards; Save takes every shard's read lock
+// so snapshots are consistent cuts even under concurrent writes, and
+// snapshots round-trip across different shard counts (and to/from the
+// single-writer Graph format).
+//
+// Traversal callbacks (ForEachSuccessor, ForEachNode) run on a
+// point-in-time copy taken under the shard read lock and invoked after
+// it is released, so callbacks may re-enter — and even mutate — the
+// graph without deadlocking. Options.Parallelism sets the worker count
+// for SafeGraph.BFS and SafeGraph.PageRank, the worker-pool analytics
+// built on the sharded engine.
+//
 // The internal packages also contain from-scratch implementations of the
 // paper's baselines (LiveGraph, Sortledton, Wind-Bell Index, Spruce,
 // adjacency list, PCSR), the graph analytics suite (BFS, SSSP, TC, CC,

@@ -1,0 +1,3 @@
+module cuckoograph
+
+go 1.24

@@ -1,0 +1,171 @@
+package analytics
+
+import (
+	"runtime"
+	"sync"
+
+	"cuckoograph/internal/graphstore"
+)
+
+// resolveWorkers maps a worker-count request to a concrete pool size.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// chunks splits items into at most workers near-equal contiguous parts.
+func chunks(items []uint64, workers int) [][]uint64 {
+	if len(items) == 0 {
+		return nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	size := (len(items) + workers - 1) / workers
+	var out [][]uint64
+	for lo := 0; lo < len(items); lo += size {
+		hi := lo + size
+		if hi > len(items) {
+			hi = len(items)
+		}
+		out = append(out, items[lo:hi])
+	}
+	return out
+}
+
+// ParallelBFS is level-synchronous BFS with the frontier expansion
+// fanned out over a worker pool: each worker scans the successors of
+// its slice of the current frontier into a private buffer, and the
+// buffers are merged into the next frontier serially, so the visited
+// set needs no lock. With workers ≤ 1 it falls back to the sequential
+// BFS. The store must support concurrent readers (the sharded engine
+// and every single-writer store in this repository do); the visit set
+// matches BFS exactly and the order is level-equivalent.
+func ParallelBFS(s graphstore.Store, root uint64, workers int) []uint64 {
+	workers = resolveWorkers(workers)
+	if workers <= 1 {
+		return BFS(s, root)
+	}
+	visited := map[uint64]bool{root: true}
+	order := []uint64{root}
+	frontier := []uint64{root}
+	for len(frontier) > 0 {
+		parts := chunks(frontier, workers)
+		results := make([][]uint64, len(parts))
+		var wg sync.WaitGroup
+		for ci, part := range parts {
+			wg.Add(1)
+			go func(ci int, part []uint64) {
+				defer wg.Done()
+				var local []uint64
+				for _, u := range part {
+					s.ForEachSuccessor(u, func(v uint64) bool {
+						local = append(local, v)
+						return true
+					})
+				}
+				results[ci] = local
+			}(ci, part)
+		}
+		wg.Wait()
+		var next []uint64
+		for _, local := range results {
+			for _, v := range local {
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+					order = append(order, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// ParallelPageRank runs the power method with each iteration's
+// contribution pass partitioned over a worker pool: every worker
+// accumulates rank shares for its slice of the node set into a private
+// map, and the maps are merged serially before the damping update.
+// With workers ≤ 1 it falls back to the sequential PageRank. Results
+// match PageRank up to floating-point summation order.
+func ParallelPageRank(s graphstore.Store, iters, workers int) map[uint64]float64 {
+	workers = resolveWorkers(workers)
+	if workers <= 1 {
+		return PageRank(s, iters)
+	}
+	nodes := Nodes(s)
+	if len(nodes) == 0 {
+		return nil
+	}
+	const damping = 0.85
+	n := float64(len(nodes))
+	rank := make(map[uint64]float64, len(nodes))
+	deg := make(map[uint64]int, len(nodes))
+
+	parts := chunks(nodes, workers)
+	degParts := make([]map[uint64]int, len(parts))
+	var wg sync.WaitGroup
+	for ci, part := range parts {
+		wg.Add(1)
+		go func(ci int, part []uint64) {
+			defer wg.Done()
+			local := make(map[uint64]int, len(part))
+			for _, u := range part {
+				local[u] = graphstore.Degree(s, u)
+			}
+			degParts[ci] = local
+		}(ci, part)
+	}
+	wg.Wait()
+	for _, local := range degParts {
+		for u, d := range local {
+			deg[u] = d
+		}
+	}
+	for _, u := range nodes {
+		rank[u] = 1 / n
+	}
+
+	type contrib struct {
+		next map[uint64]float64
+		leak float64
+	}
+	for it := 0; it < iters; it++ {
+		results := make([]contrib, len(parts))
+		for ci, part := range parts {
+			wg.Add(1)
+			go func(ci int, part []uint64) {
+				defer wg.Done()
+				c := contrib{next: make(map[uint64]float64)}
+				for _, u := range part {
+					if deg[u] == 0 {
+						c.leak += rank[u]
+						continue
+					}
+					share := rank[u] / float64(deg[u])
+					s.ForEachSuccessor(u, func(v uint64) bool {
+						c.next[v] += share
+						return true
+					})
+				}
+				results[ci] = c
+			}(ci, part)
+		}
+		wg.Wait()
+		next := make(map[uint64]float64, len(rank))
+		leak := 0.0
+		for _, c := range results {
+			leak += c.leak
+			for v, share := range c.next {
+				next[v] += share
+			}
+		}
+		for _, u := range nodes {
+			rank[u] = (1-damping)/n + damping*(next[u]+leak/n)
+		}
+	}
+	return rank
+}

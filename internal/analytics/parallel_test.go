@@ -1,0 +1,101 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/stores/adjlist"
+)
+
+func buildTestGraph() *sharded.Graph {
+	g := sharded.New(sharded.Config{Shards: 4})
+	// A connected component with cycles and fan-out, plus a detached tail.
+	for i := uint64(0); i < 400; i++ {
+		g.InsertEdge(i, (i*7+1)%400)
+		g.InsertEdge(i, (i+1)%400)
+		if i%5 == 0 {
+			g.InsertEdge(i, (i*13+3)%400)
+		}
+	}
+	for i := uint64(1000); i < 1020; i++ {
+		g.InsertEdge(i, i+1)
+	}
+	return g
+}
+
+func TestParallelBFSMatchesSequential(t *testing.T) {
+	g := buildTestGraph()
+	for _, workers := range []int{2, 4, 8} {
+		seq := BFS(g, 0)
+		par := ParallelBFS(g, 0, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: visited %d nodes, want %d", workers, len(par), len(seq))
+		}
+		seqSet := map[uint64]bool{}
+		for _, u := range seq {
+			seqSet[u] = true
+		}
+		for _, u := range par {
+			if !seqSet[u] {
+				t.Fatalf("workers=%d: parallel visited %d, sequential did not", workers, u)
+			}
+		}
+	}
+	// Worker counts ≤ 1 fall back to sequential order exactly.
+	seq := BFS(g, 0)
+	one := ParallelBFS(g, 0, 1)
+	for i := range seq {
+		if one[i] != seq[i] {
+			t.Fatalf("workers=1 order diverges at %d", i)
+		}
+	}
+}
+
+func TestParallelBFSLevelOrder(t *testing.T) {
+	g := sharded.New(sharded.Config{Shards: 2})
+	// root → {1,2} → {3,4} as strict levels.
+	g.InsertEdge(0, 1)
+	g.InsertEdge(0, 2)
+	g.InsertEdge(1, 3)
+	g.InsertEdge(2, 4)
+	order := ParallelBFS(g, 0, 4)
+	level := map[uint64]int{0: 0, 1: 1, 2: 1, 3: 2, 4: 2}
+	for i := 1; i < len(order); i++ {
+		if level[order[i]] < level[order[i-1]] {
+			t.Fatalf("order %v violates level monotonicity", order)
+		}
+	}
+}
+
+func TestParallelPageRankMatchesSequential(t *testing.T) {
+	g := buildTestGraph()
+	seq := PageRank(g, 30)
+	for _, workers := range []int{2, 4} {
+		par := ParallelPageRank(g, 30, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d ranked nodes, want %d", workers, len(par), len(seq))
+		}
+		for u, want := range seq {
+			if got := par[u]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("workers=%d: rank[%d] = %g, want %g", workers, u, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelOnSingleWriterStore(t *testing.T) {
+	// Concurrent readers over a plain single-writer store must be safe
+	// when no writer runs — the §V-E methodology (load, then analyse).
+	s := adjlist.New()
+	for i := uint64(0); i < 200; i++ {
+		s.InsertEdge(i%20, i)
+		s.InsertEdge(i, i%20)
+	}
+	if len(ParallelBFS(s, 0, 4)) != len(BFS(s, 0)) {
+		t.Fatal("parallel BFS diverges on adjacency list")
+	}
+	if len(ParallelPageRank(s, 10, 4)) != len(PageRank(s, 10)) {
+		t.Fatal("parallel PageRank diverges on adjacency list")
+	}
+}

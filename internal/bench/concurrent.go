@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cuckoograph/internal/dataset"
+	"cuckoograph/internal/graphstore"
+)
+
+// ConcurrentResult holds one scheme's concurrent-workload measurements:
+// W writer goroutines insert disjoint slices of the stream while R
+// reader goroutines issue point queries, and both sides report
+// aggregate Mops over the same wall-clock window.
+type ConcurrentResult struct {
+	Scheme    string
+	Writers   int
+	Readers   int
+	WriteMops float64
+	ReadMops  float64
+}
+
+// lockedStore serialises any store behind one global read-write lock —
+// the pre-sharding SafeGraph deployment shape, kept as the scaling
+// baseline for the concurrent benchmark.
+type lockedStore struct {
+	mu sync.RWMutex
+	s  graphstore.Store
+}
+
+func (l *lockedStore) InsertEdge(u, v uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.InsertEdge(u, v)
+}
+
+func (l *lockedStore) HasEdge(u, v uint64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.HasEdge(u, v)
+}
+
+func (l *lockedStore) DeleteEdge(u, v uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.DeleteEdge(u, v)
+}
+
+func (l *lockedStore) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.s.ForEachSuccessor(u, fn)
+}
+
+func (l *lockedStore) NumEdges() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.NumEdges()
+}
+
+func (l *lockedStore) MemoryUsage() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.MemoryUsage()
+}
+
+// LockedFactory wraps a factory so every store it builds sits behind a
+// single global RWMutex.
+func LockedFactory(f graphstore.Factory) graphstore.Factory {
+	return graphstore.Factory{
+		Name: f.Name + "+GlobalLock",
+		New:  func() graphstore.Store { return &lockedStore{s: f.New()} },
+	}
+}
+
+// ConcurrentOps runs the concurrent workload on a fresh store from f:
+// writers goroutines insert disjoint slices of the stream while readers
+// goroutines loop point queries over the already-written prefix until
+// the writers finish. The store must be safe for concurrent use.
+func ConcurrentOps(f graphstore.Factory, stream []dataset.Edge, writers, readers int) ConcurrentResult {
+	if writers < 1 {
+		writers = 1
+	}
+	res := ConcurrentResult{Scheme: f.Name, Writers: writers, Readers: readers}
+	if len(stream) == 0 {
+		return res
+	}
+	s := f.New()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var reads atomic.Uint64
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			n := uint64(0)
+			for i := seed; ; i = (i + 7919) % len(stream) {
+				select {
+				case <-stop:
+					reads.Add(n)
+					return
+				default:
+				}
+				e := stream[i]
+				s.HasEdge(e.U, e.V)
+				n++
+			}
+		}(r * len(stream) / max(readers, 1))
+	}
+
+	start := time.Now()
+	var writerWG sync.WaitGroup
+	chunk := (len(stream) + writers - 1) / writers
+	for w := 0; w < writers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(stream))
+		if lo >= hi {
+			continue
+		}
+		writerWG.Add(1)
+		go func(part []dataset.Edge) {
+			defer writerWG.Done()
+			for _, e := range part {
+				s.InsertEdge(e.U, e.V)
+			}
+		}(stream[lo:hi])
+	}
+	writerWG.Wait()
+	wall := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	res.WriteMops = Mops(len(stream), wall)
+	res.ReadMops = Mops(int(reads.Load()), wall)
+	return res
+}

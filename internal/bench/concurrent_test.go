@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"cuckoograph/internal/dataset"
+	"cuckoograph/internal/graphstore"
+	"cuckoograph/internal/stores"
+)
+
+func testStream(n int) []dataset.Edge {
+	stream := make([]dataset.Edge, n)
+	for i := range stream {
+		stream[i] = dataset.Edge{U: uint64(i) % 997, V: uint64(i)}
+	}
+	return stream
+}
+
+func TestConcurrentOpsCounts(t *testing.T) {
+	stream := testStream(40000)
+	sharded := graphstore.Factory{Name: "CuckooGraph-Sharded", New: stores.NewShardedCuckooGraph}
+	for _, wr := range []struct{ w, r int }{{1, 0}, {4, 2}} {
+		res := ConcurrentOps(sharded, stream, wr.w, wr.r)
+		if res.Writers != wr.w || res.Readers != wr.r {
+			t.Fatalf("result workers %d/%d, want %d/%d", res.Writers, res.Readers, wr.w, wr.r)
+		}
+		if res.WriteMops <= 0 {
+			t.Fatalf("writers=%d: WriteMops = %v, want > 0", wr.w, res.WriteMops)
+		}
+		if wr.r > 0 && res.ReadMops <= 0 {
+			t.Fatalf("writers=%d: ReadMops = %v, want > 0", wr.w, res.ReadMops)
+		}
+	}
+	// Every edge must land exactly once regardless of writer count.
+	s := stores.NewShardedCuckooGraph()
+	f := graphstore.Factory{Name: "check", New: func() graphstore.Store { return s }}
+	ConcurrentOps(f, stream, 8, 0)
+	if s.NumEdges() != uint64(len(stream)) {
+		t.Fatalf("stored %d edges, want %d", s.NumEdges(), len(stream))
+	}
+}
+
+func TestConcurrentOpsEmptyStream(t *testing.T) {
+	sharded := graphstore.Factory{Name: "CuckooGraph-Sharded", New: stores.NewShardedCuckooGraph}
+	res := ConcurrentOps(sharded, nil, 2, 2)
+	if res.WriteMops != 0 || res.ReadMops != 0 {
+		t.Fatalf("empty stream: got %+v, want zero Mops", res)
+	}
+}
+
+func TestLockedFactoryIsSafeBaseline(t *testing.T) {
+	stream := testStream(20000)
+	locked := LockedFactory(graphstore.Factory{Name: "CuckooGraph", New: stores.NewCuckooGraph})
+	res := ConcurrentOps(locked, stream, 4, 2)
+	if res.WriteMops <= 0 {
+		t.Fatalf("locked baseline WriteMops = %v", res.WriteMops)
+	}
+	if res.Scheme != "CuckooGraph+GlobalLock" {
+		t.Fatalf("scheme = %q", res.Scheme)
+	}
+}

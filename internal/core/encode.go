@@ -19,41 +19,70 @@ const (
 	variantWeighted = 2
 )
 
-// Save writes every edge of the basic graph to w.
-func (g *Graph) Save(w io.Writer) error {
+// WriteBasicSnapshot writes a basic-variant snapshot holding edges
+// edge records; iter must call emit exactly once per edge. The sharded
+// engine shares this writer so its snapshots are byte-compatible with
+// single-shard ones regardless of shard count.
+func WriteBasicSnapshot(w io.Writer, edges uint64, iter func(emit func(u, v uint64) error) error) error {
 	bw := bufio.NewWriter(w)
-	if err := writeHeader(bw, variantBasic, g.NumEdges()); err != nil {
+	if err := writeHeader(bw, variantBasic, edges); err != nil {
 		return err
 	}
-	var err error
-	g.ForEachNode(func(u uint64) bool {
-		g.ForEachSuccessor(u, func(v uint64) bool {
-			err = writeU64s(bw, u, v)
-			return err == nil
-		})
-		return err == nil
-	})
-	if err != nil {
+	if err := iter(func(u, v uint64) error { return writeU64s(bw, u, v) }); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// LoadGraph reads a snapshot written by Save into a fresh graph with
-// the given configuration.
-func LoadGraph(r io.Reader, cfg Config) (*Graph, error) {
+// ReadBasicSnapshot streams the edges of a basic-variant snapshot to fn.
+func ReadBasicSnapshot(r io.Reader, fn func(u, v uint64) error) error {
 	br := bufio.NewReader(r)
 	n, err := readHeader(br, variantBasic)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	g := NewGraph(cfg)
 	for i := uint64(0); i < n; i++ {
 		u, v, err := readEdge(br)
 		if err != nil {
-			return nil, fmt.Errorf("core: edge %d/%d: %w", i, n, err)
+			return fmt.Errorf("core: edge %d/%d: %w", i, n, err)
 		}
+		if err := fn(u, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitEdges feeds every stored edge to emit, stopping at the first
+// error. It is the shared iteration step of the snapshot writers.
+func (g *Graph) EmitEdges(emit func(u, v uint64) error) error {
+	var err error
+	g.ForEachNode(func(u uint64) bool {
+		g.ForEachSuccessor(u, func(v uint64) bool {
+			err = emit(u, v)
+			return err == nil
+		})
+		return err == nil
+	})
+	return err
+}
+
+// Save writes every edge of the basic graph to w.
+func (g *Graph) Save(w io.Writer) error {
+	return WriteBasicSnapshot(w, g.NumEdges(), func(emit func(u, v uint64) error) error {
+		return g.EmitEdges(emit)
+	})
+}
+
+// LoadGraph reads a snapshot written by Save into a fresh graph with
+// the given configuration.
+func LoadGraph(r io.Reader, cfg Config) (*Graph, error) {
+	g := NewGraph(cfg)
+	if err := ReadBasicSnapshot(r, func(u, v uint64) error {
 		g.InsertEdge(u, v)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -1,25 +1,33 @@
 package redislike
 
 import (
-	"encoding/binary"
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
-	"cuckoograph/internal/core"
 	"cuckoograph/internal/resp"
+	"cuckoograph/internal/sharded"
 )
 
 // GraphModule wraps a CuckooGraph as a redislike module, providing the
 // extended commands of §V-F — insert, del, query, getneighbors — and
-// the save_rdb/load_rdb persistence interfaces.
+// the save_rdb/load_rdb persistence interfaces. The graph is the
+// sharded concurrent engine, so handlers need no per-command mutual
+// exclusion: commands on different source nodes run in parallel, each
+// taking only the owning shard's lock. swapMu (read-locked by every
+// handler, write-locked only by load_rdb) exists solely so a restore
+// cannot swap the graph out from under an in-flight command — without
+// it an acknowledged write could land on the discarded graph.
 type GraphModule struct {
-	g *core.Graph
+	swapMu sync.RWMutex
+	g      *sharded.Graph
 }
 
 // NewGraphModule returns the CuckooGraph module ready for LoadModule.
 func NewGraphModule() (*GraphModule, *Module) {
-	gm := &GraphModule{g: core.NewGraph(core.Config{})}
+	gm := &GraphModule{g: sharded.New(sharded.Config{})}
 	m := &Module{
 		Name: "cuckoograph",
 		Commands: map[string]HandlerFunc{
@@ -34,8 +42,20 @@ func NewGraphModule() (*GraphModule, *Module) {
 	return gm, m
 }
 
-// Graph exposes the underlying graph for in-process inspection.
-func (gm *GraphModule) Graph() *core.Graph { return gm.g }
+// Graph exposes the underlying sharded graph for in-process inspection.
+func (gm *GraphModule) Graph() *sharded.Graph {
+	gm.swapMu.RLock()
+	defer gm.swapMu.RUnlock()
+	return gm.g
+}
+
+// withGraph runs f on the current graph while holding the swap lock in
+// read mode, so load_rdb cannot replace the graph mid-command.
+func (gm *GraphModule) withGraph(f func(g *sharded.Graph)) {
+	gm.swapMu.RLock()
+	defer gm.swapMu.RUnlock()
+	f(gm.g)
+}
 
 func parseEdge(args []string) (u, v uint64, err error) {
 	if len(args) != 2 {
@@ -57,7 +77,9 @@ func (gm *GraphModule) insert(args []string) resp.Value {
 	if err != nil {
 		return resp.Error("ERR g.insert: " + err.Error())
 	}
-	if gm.g.InsertEdge(u, v) {
+	added := false
+	gm.withGraph(func(g *sharded.Graph) { added = g.InsertEdge(u, v) })
+	if added {
 		return resp.Integer(1)
 	}
 	return resp.Integer(0)
@@ -68,7 +90,9 @@ func (gm *GraphModule) del(args []string) resp.Value {
 	if err != nil {
 		return resp.Error("ERR g.del: " + err.Error())
 	}
-	if gm.g.DeleteEdge(u, v) {
+	deleted := false
+	gm.withGraph(func(g *sharded.Graph) { deleted = g.DeleteEdge(u, v) })
+	if deleted {
 		return resp.Integer(1)
 	}
 	return resp.Integer(0)
@@ -79,7 +103,9 @@ func (gm *GraphModule) query(args []string) resp.Value {
 	if err != nil {
 		return resp.Error("ERR g.query: " + err.Error())
 	}
-	if gm.g.HasEdge(u, v) {
+	has := false
+	gm.withGraph(func(g *sharded.Graph) { has = g.HasEdge(u, v) })
+	if has {
 		return resp.Integer(1)
 	}
 	return resp.Integer(0)
@@ -94,47 +120,33 @@ func (gm *GraphModule) getNeighbors(args []string) resp.Value {
 		return resp.Error("ERR g.getneighbors: bad node id " + strconv.Quote(args[0]))
 	}
 	var out []resp.Value
-	gm.g.ForEachSuccessor(u, func(v uint64) bool {
-		out = append(out, resp.Bulk(strconv.FormatUint(v, 10)))
-		return true
+	gm.withGraph(func(g *sharded.Graph) {
+		g.ForEachSuccessor(u, func(v uint64) bool {
+			out = append(out, resp.Bulk(strconv.FormatUint(v, 10)))
+			return true
+		})
 	})
 	return resp.Array(out...)
 }
 
-// saveRDB serialises every edge as two big-endian uint64s, prefixed by
-// the edge count.
+// saveRDB serialises the graph in the core snapshot format. The sharded
+// Save holds every shard's read lock for the duration, so the snapshot
+// is a consistent cut even while commands keep flowing.
 func (gm *GraphModule) saveRDB() []byte {
-	buf := make([]byte, 8, 8+gm.g.NumEdges()*16)
-	binary.BigEndian.PutUint64(buf, gm.g.NumEdges())
-	gm.g.ForEachNode(func(u uint64) bool {
-		gm.g.ForEachSuccessor(u, func(v uint64) bool {
-			var rec [16]byte
-			binary.BigEndian.PutUint64(rec[:8], u)
-			binary.BigEndian.PutUint64(rec[8:], v)
-			buf = append(buf, rec[:]...)
-			return true
-		})
-		return true
-	})
-	return buf
+	var buf bytes.Buffer
+	// Writing to a bytes.Buffer cannot fail.
+	gm.withGraph(func(g *sharded.Graph) { _ = g.Save(&buf) })
+	return buf.Bytes()
 }
 
 func (gm *GraphModule) loadRDB(data []byte) error {
-	if len(data) < 8 {
-		return fmt.Errorf("cuckoograph rdb: truncated header")
+	g, err := sharded.Load(bytes.NewReader(data), sharded.Config{})
+	if err != nil {
+		return fmt.Errorf("cuckoograph rdb: %w", err)
 	}
-	n := binary.BigEndian.Uint64(data[:8])
-	data = data[8:]
-	if uint64(len(data)) != n*16 {
-		return fmt.Errorf("cuckoograph rdb: want %d records, have %d bytes", n, len(data))
-	}
-	g := core.NewGraph(core.Config{})
-	for i := uint64(0); i < n; i++ {
-		u := binary.BigEndian.Uint64(data[i*16:])
-		v := binary.BigEndian.Uint64(data[i*16+8:])
-		g.InsertEdge(u, v)
-	}
+	gm.swapMu.Lock()
 	gm.g = g
+	gm.swapMu.Unlock()
 	return nil
 }
 
@@ -142,16 +154,18 @@ func (gm *GraphModule) loadRDB(data []byte) error {
 // aof_rewrite interface of the Redis Module API.
 func (gm *GraphModule) AOFRewrite() []string {
 	var cmds []string
-	gm.g.ForEachNode(func(u uint64) bool {
-		gm.g.ForEachSuccessor(u, func(v uint64) bool {
-			cmds = append(cmds, strings.Join([]string{
-				"g.insert",
-				strconv.FormatUint(u, 10),
-				strconv.FormatUint(v, 10),
-			}, " "))
+	gm.withGraph(func(g *sharded.Graph) {
+		g.ForEachNode(func(u uint64) bool {
+			g.ForEachSuccessor(u, func(v uint64) bool {
+				cmds = append(cmds, strings.Join([]string{
+					"g.insert",
+					strconv.FormatUint(u, 10),
+					strconv.FormatUint(v, 10),
+				}, " "))
+				return true
+			})
 			return true
 		})
-		return true
 	})
 	return cmds
 }

@@ -28,9 +28,14 @@ type Module struct {
 	LoadRDB  func(data []byte) error
 }
 
-// Server is a single-node redislike instance.
+// Server is a single-node redislike instance. There is no global
+// command lock: mu guards only the built-in string keyspace and the
+// command/module registries, and module handlers run outside it — each
+// module is responsible for its own synchronisation (the CuckooGraph
+// module locks per shard), so commands touching different shards
+// execute in parallel across connections.
 type Server struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	strings map[string]string
 	modules []*Module
 	cmds    map[string]HandlerFunc
@@ -64,9 +69,11 @@ func (s *Server) LoadModule(m *Module) error {
 }
 
 // SaveRDB snapshots every module (the persistence experiment hook).
+// Module save hooks run outside the server lock — the CuckooGraph hook
+// takes a consistent cut under its own shard read locks.
 func (s *Server) SaveRDB() map[string][]byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := map[string][]byte{}
 	for _, m := range s.modules {
 		if m.SaveRDB != nil {
@@ -78,8 +85,8 @@ func (s *Server) SaveRDB() map[string][]byte {
 
 // LoadRDB restores module snapshots.
 func (s *Server) LoadRDB(snap map[string][]byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, m := range s.modules {
 		if data, ok := snap[m.Name]; ok && m.LoadRDB != nil {
 			if err := m.LoadRDB(data); err != nil {
@@ -158,8 +165,6 @@ func (s *Server) Dispatch(req resp.Value) resp.Value {
 	name := strings.ToLower(args[0])
 	args = args[1:]
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch name {
 	case "ping":
 		return resp.Simple("PONG")
@@ -167,27 +172,39 @@ func (s *Server) Dispatch(req resp.Value) resp.Value {
 		if len(args) != 2 {
 			return resp.Error("ERR wrong number of arguments for 'set'")
 		}
+		s.mu.Lock()
 		s.strings[args[0]] = args[1]
+		s.mu.Unlock()
 		return resp.Simple("OK")
 	case "get":
 		if len(args) != 1 {
 			return resp.Error("ERR wrong number of arguments for 'get'")
 		}
-		if v, ok := s.strings[args[0]]; ok {
+		s.mu.RLock()
+		v, ok := s.strings[args[0]]
+		s.mu.RUnlock()
+		if ok {
 			return resp.Bulk(v)
 		}
 		return resp.NullBulk()
 	case "del":
 		n := int64(0)
+		s.mu.Lock()
 		for _, k := range args {
 			if _, ok := s.strings[k]; ok {
 				delete(s.strings, k)
 				n++
 			}
 		}
+		s.mu.Unlock()
 		return resp.Integer(n)
 	}
-	if h, ok := s.cmds[name]; ok {
+	s.mu.RLock()
+	h, ok := s.cmds[name]
+	s.mu.RUnlock()
+	if ok {
+		// Module handlers run without the server lock; the module's data
+		// structure provides its own (per-shard) synchronisation.
 		return h(args)
 	}
 	return resp.Error("ERR unknown command '" + name + "'")

@@ -1,0 +1,290 @@
+// Package sharded is the concurrent CuckooGraph engine: it hash-
+// partitions edges by source node across P independent shards, each a
+// private single-writer core.Graph behind its own read-write lock.
+//
+// Sharding by source node is the natural CuckooGraph partition — all
+// state for node u (its L-CHT cell, its S-CHT chain, its denylist
+// entries) lives in exactly one core engine, so shards never share
+// mutable state and mutations on different shards proceed in parallel.
+// Aggregate edge/node counts are kept as atomics; Stats and MemoryUsage
+// merge across shards under their read locks.
+//
+// Traversal callbacks (ForEachSuccessor, ForEachNode) run on a
+// point-in-time copy taken under the shard read lock and invoked after
+// the lock is released, so callbacks may freely re-enter the graph —
+// including mutating it — without deadlocking on a shard lock.
+package sharded
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cuckoograph/internal/core"
+)
+
+// Config tunes a sharded graph.
+type Config struct {
+	// Core is the per-shard CuckooGraph tuning. Each shard derives a
+	// distinct deterministic hash seed from Core.Seed.
+	Core core.Config
+	// Shards is P, the number of partitions. It is rounded up to a power
+	// of two; zero or negative defaults to runtime.GOMAXPROCS(0).
+	Shards int
+}
+
+// shard is one partition: a private core engine behind its own lock.
+// Shards are padded out to their own cache lines so lock traffic on one
+// shard does not false-share with its neighbours.
+type shard struct {
+	mu sync.RWMutex
+	g  *core.Graph
+	_  [64 - 24 - 8]byte
+}
+
+// Graph is a concurrency-safe CuckooGraph partitioned by source node.
+type Graph struct {
+	shards []shard
+	mask   uint64
+
+	edges atomic.Uint64
+	nodes atomic.Uint64
+}
+
+// ShardCount normalises a requested shard count: zero or negative means
+// runtime.GOMAXPROCS(0), and the result is rounded up to a power of two.
+func ShardCount(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns an empty sharded graph.
+func New(cfg Config) *Graph {
+	p := ShardCount(cfg.Shards)
+	g := &Graph{shards: make([]shard, p), mask: uint64(p - 1)}
+	base := cfg.Core.Defaults()
+	for i := range g.shards {
+		sc := base
+		// Distinct per-shard seeds keep hash layouts independent while
+		// staying deterministic for a given Config.
+		sc.Seed = base.Seed + uint64(i)*0x9E3779B97F4A7C15
+		g.shards[i].g = core.NewGraph(sc)
+	}
+	return g
+}
+
+// Load reads a basic-variant snapshot (the format of core.Graph.Save)
+// into a fresh sharded graph. Snapshots round-trip across shard counts:
+// a snapshot written by a 1-shard graph loads into a P-shard graph and
+// vice versa.
+func Load(r io.Reader, cfg Config) (*Graph, error) {
+	g := New(cfg)
+	if err := core.ReadBasicSnapshot(r, func(u, v uint64) error {
+		g.InsertEdge(u, v)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Shards returns P, the number of partitions.
+func (g *Graph) Shards() int { return len(g.shards) }
+
+// shardOf picks u's partition with a splitmix64 finaliser so that
+// sequential node ids spread evenly across shards.
+func (g *Graph) shardOf(u uint64) *shard {
+	h := u
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return &g.shards[h&g.mask]
+}
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new.
+func (g *Graph) InsertEdge(u, v uint64) bool {
+	sh := g.shardOf(u)
+	sh.mu.Lock()
+	n0 := sh.g.NumNodes()
+	added := sh.g.InsertEdge(u, v)
+	if added {
+		g.edges.Add(1)
+	}
+	g.nodes.Add(sh.g.NumNodes() - n0)
+	sh.mu.Unlock()
+	return added
+}
+
+// HasEdge reports whether ⟨u,v⟩ is stored.
+func (g *Graph) HasEdge(u, v uint64) bool {
+	sh := g.shardOf(u)
+	sh.mu.RLock()
+	ok := sh.g.HasEdge(u, v)
+	sh.mu.RUnlock()
+	return ok
+}
+
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
+func (g *Graph) DeleteEdge(u, v uint64) bool {
+	sh := g.shardOf(u)
+	sh.mu.Lock()
+	n0 := sh.g.NumNodes()
+	deleted := sh.g.DeleteEdge(u, v)
+	if deleted {
+		g.edges.Add(^uint64(0))
+	}
+	g.nodes.Add(sh.g.NumNodes() - n0)
+	sh.mu.Unlock()
+	return deleted
+}
+
+// ForEachSuccessor calls fn for each successor of u until fn returns
+// false. The successors are copied under the shard read lock and fn is
+// invoked after it is released, so fn may re-enter the graph.
+func (g *Graph) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	sh := g.shardOf(u)
+	sh.mu.RLock()
+	var succ []uint64
+	sh.g.ForEachSuccessor(u, func(v uint64) bool {
+		succ = append(succ, v)
+		return true
+	})
+	sh.mu.RUnlock()
+	for _, v := range succ {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Successors returns u's successors as a fresh slice.
+func (g *Graph) Successors(u uint64) []uint64 {
+	sh := g.shardOf(u)
+	sh.mu.RLock()
+	var succ []uint64
+	sh.g.ForEachSuccessor(u, func(v uint64) bool {
+		succ = append(succ, v)
+		return true
+	})
+	sh.mu.RUnlock()
+	return succ
+}
+
+// Degree returns u's out-degree.
+func (g *Graph) Degree(u uint64) int {
+	sh := g.shardOf(u)
+	sh.mu.RLock()
+	n := 0
+	sh.g.ForEachSuccessor(u, func(uint64) bool {
+		n++
+		return true
+	})
+	sh.mu.RUnlock()
+	return n
+}
+
+// ForEachNode calls fn for every node with at least one out-edge. Each
+// shard's node set is copied under its read lock and fn runs unlocked,
+// so fn may re-enter the graph.
+func (g *Graph) ForEachNode(fn func(u uint64) bool) {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		var nodes []uint64
+		sh.g.ForEachNode(func(u uint64) bool {
+			nodes = append(nodes, u)
+			return true
+		})
+		sh.mu.RUnlock()
+		for _, u := range nodes {
+			if !fn(u) {
+				return
+			}
+		}
+	}
+}
+
+// NumEdges returns the number of distinct stored edges.
+func (g *Graph) NumEdges() uint64 { return g.edges.Load() }
+
+// NumNodes returns the number of distinct source nodes.
+func (g *Graph) NumNodes() uint64 { return g.nodes.Load() }
+
+// MemoryUsage returns the structural bytes summed across shards.
+func (g *Graph) MemoryUsage() uint64 {
+	var total uint64
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		total += sh.g.MemoryUsage()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Stats merges the structural counters of every shard: counts sum, and
+// the L-CHT loading rate is the cell-weighted mean.
+func (g *Graph) Stats() core.Stats {
+	var merged core.Stats
+	var weightedLoad float64
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		st := sh.g.Stats()
+		sh.mu.RUnlock()
+		merged.Nodes += st.Nodes
+		merged.Edges += st.Edges
+		merged.LCHTTables += st.LCHTTables
+		merged.LCHTCells += st.LCHTCells
+		weightedLoad += st.LCHTLoadRate * float64(st.LCHTCells)
+		merged.LCHTKicks += st.LCHTKicks
+		merged.LCHTPlacements += st.LCHTPlacements
+		merged.Chains += st.Chains
+		merged.ChainCells += st.ChainCells
+		merged.ChainEntries += st.ChainEntries
+		merged.SCHTKicks += st.SCHTKicks
+		merged.SCHTPlacements += st.SCHTPlacements
+		merged.LDLLen += st.LDLLen
+		merged.SDLLen += st.SDLLen
+		merged.Transformations += st.Transformations
+	}
+	if merged.LCHTCells > 0 {
+		merged.LCHTLoadRate = weightedLoad / float64(merged.LCHTCells)
+	}
+	return merged
+}
+
+// Save writes a snapshot in the basic-variant format of core.Graph.Save.
+// Every shard's read lock is held for the duration, so the snapshot is a
+// consistent cut even under concurrent mutation.
+func (g *Graph) Save(w io.Writer) error {
+	for i := range g.shards {
+		g.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range g.shards {
+			g.shards[i].mu.RUnlock()
+		}
+	}()
+	var edges uint64
+	for i := range g.shards {
+		edges += g.shards[i].g.NumEdges()
+	}
+	return core.WriteBasicSnapshot(w, edges, func(emit func(u, v uint64) error) error {
+		for i := range g.shards {
+			if err := g.shards[i].g.EmitEdges(emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

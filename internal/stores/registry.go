@@ -8,6 +8,7 @@ package stores
 import (
 	"cuckoograph/internal/core"
 	"cuckoograph/internal/graphstore"
+	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/stores/adjlist"
 	"cuckoograph/internal/stores/csr"
 	"cuckoograph/internal/stores/livegraph"
@@ -30,6 +31,13 @@ func NewCuckooGraphWith(cfg core.Config) graphstore.Store {
 	return cuckooStore{core.NewGraph(cfg)}
 }
 
+// NewShardedCuckooGraph returns the concurrent sharded engine as a
+// graphstore.Store (shards defaulting to GOMAXPROCS), so the
+// conformance suite exercises it alongside the single-writer stores.
+func NewShardedCuckooGraph() graphstore.Store {
+	return sharded.New(sharded.Config{})
+}
+
 // Evaluated returns the five schemes compared throughout §V, in the
 // paper's plotting order.
 func Evaluated() []graphstore.Factory {
@@ -46,6 +54,7 @@ func Evaluated() []graphstore.Factory {
 // reference baselines.
 func All() []graphstore.Factory {
 	return append(Evaluated(),
+		graphstore.Factory{Name: "CuckooGraph-Sharded", New: NewShardedCuckooGraph},
 		graphstore.Factory{Name: "AdjList", New: func() graphstore.Store { return adjlist.New() }},
 		graphstore.Factory{Name: "PCSR", New: func() graphstore.Store { return csr.NewPCSR() }},
 	)
