@@ -9,7 +9,7 @@
 //
 // Experiments: table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 // fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 kicks
-// concurrent parallel all
+// concurrent parallel durability all
 package main
 
 import (
@@ -32,6 +32,7 @@ import (
 	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/stores"
+	"cuckoograph/internal/wal"
 )
 
 var (
@@ -42,7 +43,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|all>")
+		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|durability|all>")
 		os.Exit(2)
 	}
 	run(flag.Arg(0))
@@ -89,10 +90,13 @@ func run(name string) {
 		concurrent()
 	case "parallel":
 		parallelAnalytics()
+	case "durability":
+		durability()
 	case "all":
 		for _, n := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "concurrent", "parallel"} {
+			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "concurrent", "parallel",
+			"durability"} {
 			run(n)
 			fmt.Println()
 		}
@@ -451,6 +455,45 @@ func parallelAnalytics() {
 			fmt.Sprintf("%.4f", bfs.Seconds()), fmt.Sprintf("%.4f", pr.Seconds())})
 	}
 	bench.PrintTable(os.Stdout, []string{"workers", "BFS s", "PageRank(10) s"}, rows)
+}
+
+// durability prices the write-ahead log: CAIDA inserts with the WAL
+// detached vs attached under each fsync policy, plus the cost of
+// replaying the log back into a fresh graph. SyncAlways pays a real
+// fsync per group commit, so its stream is capped to keep the run short.
+func durability() {
+	fmt.Printf("== Durability: WAL write cost and recovery speed (CAIDA, scale 1/%d) ==\n", *scale)
+	st := stream("CAIDA")
+	rows := [][]string{}
+	for _, mode := range []struct {
+		sync wal.SyncPolicy
+		st   []dataset.Edge
+	}{
+		{wal.SyncAsync, st},
+		{wal.SyncNone, st},
+		{wal.SyncAlways, st[:min(len(st), 5000)]},
+	} {
+		for _, writers := range []int{1, 4} {
+			dir, err := os.MkdirTemp("", "cgbench-wal-")
+			if err != nil {
+				panic(err)
+			}
+			res, err := bench.Durability(mode.st, writers, dir, wal.Options{Sync: mode.sync})
+			os.RemoveAll(dir)
+			if err != nil {
+				panic(err)
+			}
+			rows = append(rows, []string{
+				bench.SyncName(res.Sync), fmt.Sprintf("%d", res.Writers), fmt.Sprintf("%d", res.Edges),
+				fmt.Sprintf("%.3f", res.WALOffMops), fmt.Sprintf("%.3f", res.WALOnMops),
+				bench.Ratio(res.WALOffMops, res.WALOnMops),
+				res.RecoverPerM.Round(time.Millisecond).String(),
+			})
+		}
+	}
+	bench.PrintTable(os.Stdout,
+		[]string{"sync", "writers", "edges", "wal-off Mops", "wal-on Mops", "slowdown", "recovery/1M"},
+		rows)
 }
 
 // kicks reproduces the §IV-A measurement: average insertions per item.

@@ -5,6 +5,14 @@
 //	cgserver -addr 127.0.0.1:6380
 //	cgcli -addr 127.0.0.1:6380 g.insert 1 2
 //	cgcli -addr 127.0.0.1:6380 g.getneighbors 1
+//
+// With -wal-dir the graph is durable: on startup the newest checkpoint
+// snapshot is loaded and the write-ahead-log tail replayed, and every
+// acknowledged mutation is group-committed to the log. -checkpoint-every
+// takes periodic snapshots that truncate the replayed log prefix:
+//
+//	cgserver -addr 127.0.0.1:6380 -wal-dir /var/lib/cgserver \
+//	         -wal-sync always -checkpoint-every 5m
 package main
 
 import (
@@ -12,29 +20,84 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"cuckoograph/internal/redislike"
+	"cuckoograph/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	walDir := flag.String("wal-dir", "", "durability directory (write-ahead log + checkpoints); empty disables")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), nosync (page cache), async (background writes)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval, e.g. 5m (0 disables; requires -wal-dir)")
 	flag.Parse()
 
 	srv := redislike.NewServer()
-	_, mod := redislike.NewGraphModule()
+	gm, mod := redislike.NewGraphModule()
 	if err := srv.LoadModule(mod); err != nil {
 		fmt.Fprintln(os.Stderr, "cgserver:", err)
 		os.Exit(1)
 	}
+
+	if *walDir != "" {
+		sync, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cgserver: -wal-sync:", err)
+			os.Exit(2)
+		}
+		stats, err := gm.RecoverWAL(*walDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cgserver: recover:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cgserver recovered %d edges from %s (snapshot=%q, %d log records in %d segments, %d torn bytes dropped) in %v\n",
+			gm.Graph().NumEdges(), *walDir, stats.Snapshot,
+			stats.Replay.Records, stats.Replay.Segments, stats.Replay.TornBytes,
+			stats.Elapsed.Round(time.Millisecond))
+		if err := gm.EnableWAL(*walDir, wal.Options{Sync: sync}); err != nil {
+			fmt.Fprintln(os.Stderr, "cgserver: wal:", err)
+			os.Exit(1)
+		}
+	} else if *checkpointEvery > 0 {
+		fmt.Fprintln(os.Stderr, "cgserver: -checkpoint-every requires -wal-dir")
+		os.Exit(2)
+	}
+
+	stopCheckpoints := make(chan struct{})
+	if *walDir != "" && *checkpointEvery > 0 {
+		go func() {
+			t := time.NewTicker(*checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCheckpoints:
+					return
+				case <-t.C:
+					if path, err := gm.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "cgserver: checkpoint:", err)
+					} else {
+						fmt.Println("cgserver checkpoint:", path)
+					}
+				}
+			}
+		}()
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.query g.getneighbors)\n", bound)
+	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.query g.getneighbors wal_enable wal_replay checkpoint)\n", bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stopCheckpoints)
 	srv.Close()
+	if err := gm.CloseWAL(); err != nil {
+		fmt.Fprintln(os.Stderr, "cgserver: wal close:", err)
+		os.Exit(1)
+	}
 }

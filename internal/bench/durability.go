@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cuckoograph/internal/dataset"
+	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/wal"
+)
+
+// DurabilityResult holds one durability-workload measurement: the same
+// concurrent insert stream with the WAL detached and attached, plus the
+// cost of rebuilding the graph from the log it left behind.
+type DurabilityResult struct {
+	Edges   int
+	Writers int
+	Sync    wal.SyncPolicy
+
+	WALOffMops float64
+	WALOnMops  float64
+
+	RecoveredEdges   uint64
+	RecoveredRecords uint64
+	RecoverTime      time.Duration
+	// RecoverPerM normalises recovery to wall-clock per million replayed
+	// records, the ISSUE's recovery metric.
+	RecoverPerM time.Duration
+}
+
+// SyncName names a policy for table rows.
+func SyncName(p wal.SyncPolicy) string {
+	switch p {
+	case wal.SyncAlways:
+		return "always"
+	case wal.SyncNone:
+		return "nosync"
+	case wal.SyncAsync:
+		return "async"
+	}
+	return fmt.Sprintf("sync(%d)", int(p))
+}
+
+// insertConcurrently fans the stream over writers goroutines inserting
+// disjoint slices and returns the wall-clock time until all finish.
+func insertConcurrently(g *sharded.Graph, stream []dataset.Edge, writers int) time.Duration {
+	if writers < 1 {
+		writers = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	chunk := (len(stream) + writers - 1) / writers
+	for w := 0; w < writers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(stream))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(part []dataset.Edge) {
+			defer wg.Done()
+			for _, e := range part {
+				g.InsertEdge(e.U, e.V)
+			}
+		}(stream[lo:hi])
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// Durability runs the durability workload in dir, which must be empty:
+// insert the stream with writers concurrent goroutines into a plain
+// sharded graph, then into one logging to a WAL with the given policy,
+// then recover a fresh graph from the log and verify it matches. The
+// WAL-on/WAL-off ratio is the price of durability; RecoverPerM is the
+// replay speed.
+func Durability(stream []dataset.Edge, writers int, dir string, opts wal.Options) (DurabilityResult, error) {
+	res := DurabilityResult{Edges: len(stream), Writers: writers, Sync: opts.Sync}
+	cfg := sharded.Config{Shards: 16}
+
+	off := sharded.New(cfg)
+	res.WALOffMops = Mops(len(stream), insertConcurrently(off, stream, writers))
+
+	w, err := wal.Open(dir, opts)
+	if err != nil {
+		return res, err
+	}
+	walCfg := cfg
+	walCfg.WAL = w
+	on := sharded.New(walCfg)
+	res.WALOnMops = Mops(len(stream), insertConcurrently(on, stream, writers))
+	if err := on.LogErr(); err != nil {
+		w.Close()
+		return res, fmt.Errorf("bench: wal append: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return res, fmt.Errorf("bench: wal close: %w", err)
+	}
+
+	start := time.Now()
+	rec, stats, err := wal.Recover(dir, cfg)
+	if err != nil {
+		return res, fmt.Errorf("bench: recover: %w", err)
+	}
+	res.RecoverTime = time.Since(start)
+	res.RecoveredEdges = rec.NumEdges()
+	res.RecoveredRecords = stats.Replay.Records
+	if res.RecoveredEdges != on.NumEdges() {
+		return res, fmt.Errorf("bench: recovered %d edges, logged graph has %d", res.RecoveredEdges, on.NumEdges())
+	}
+	if stats.Replay.Records > 0 {
+		res.RecoverPerM = time.Duration(float64(res.RecoverTime) * 1e6 / float64(stats.Replay.Records))
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"cuckoograph/internal/dataset"
+	"cuckoograph/internal/wal"
+)
+
+func durabilityStream(n int) []dataset.Edge {
+	spec, ok := dataset.ByName("CAIDA")
+	if !ok {
+		panic("no CAIDA dataset")
+	}
+	st := dataset.Generate(spec, 256, 42)
+	if len(st) > n {
+		st = st[:n]
+	}
+	return st
+}
+
+func TestDurabilityWorkload(t *testing.T) {
+	st := durabilityStream(30_000)
+	for _, sync := range []wal.SyncPolicy{wal.SyncNone, wal.SyncAsync} {
+		res, err := Durability(st, 4, t.TempDir(), wal.Options{Sync: sync})
+		if err != nil {
+			t.Fatalf("%s: %v", SyncName(sync), err)
+		}
+		if res.WALOffMops <= 0 || res.WALOnMops <= 0 {
+			t.Fatalf("%s: non-positive throughput: %+v", SyncName(sync), res)
+		}
+		if res.RecoveredEdges == 0 || res.RecoveredRecords == 0 {
+			t.Fatalf("%s: nothing recovered: %+v", SyncName(sync), res)
+		}
+		t.Logf("%s: wal-off %.2f Mops, wal-on %.2f Mops (%.1fx), recovery %v/1M records",
+			SyncName(sync), res.WALOffMops, res.WALOnMops,
+			res.WALOffMops/res.WALOnMops, res.RecoverPerM)
+	}
+}
+
+// TestDurabilityOverheadBound is the acceptance bar: with the async
+// group-commit knob the durable write path stays within 5x of the pure
+// in-memory one.
+func TestDurabilityOverheadBound(t *testing.T) {
+	st := durabilityStream(100_000)
+	res, err := Durability(st, 4, t.TempDir(), wal.Options{Sync: wal.SyncAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WALOnMops*5 < res.WALOffMops {
+		t.Fatalf("WAL-on %.2f Mops is more than 5x below WAL-off %.2f Mops",
+			res.WALOnMops, res.WALOffMops)
+	}
+}
+
+func BenchmarkDurabilityWALInsert(b *testing.B) {
+	st := durabilityStream(10_000)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		if _, err := Durability(st, 4, dir, wal.Options{Sync: wal.SyncAsync}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel matched by errors.Is for any snapshot or
+// write-ahead-log corruption. Callers that need the location of the
+// damage unwrap the concrete *CorruptError with errors.As.
+var ErrCorrupt = errors.New("corrupt data")
+
+// CorruptError describes damaged persistent data: which artifact was
+// being read, the byte offset of the first bad byte, and what was wrong
+// with it. It matches ErrCorrupt under errors.Is and unwraps to the
+// underlying I/O error, if any.
+type CorruptError struct {
+	// Source names the artifact, e.g. "snapshot" or a WAL segment file.
+	Source string
+	// Offset is the byte offset within Source of the first bad byte.
+	Offset int64
+	// Detail says what was wrong at Offset.
+	Detail string
+	// Err is the underlying cause (io.ErrUnexpectedEOF, ...), if any.
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	msg := fmt.Sprintf("core: corrupt %s at offset %d: %s", e.Source, e.Offset, e.Detail)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Is reports ErrCorrupt so errors.Is(err, ErrCorrupt) matches any
+// corruption regardless of source or offset.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// Unwrap exposes the underlying I/O error to errors.Is/errors.As.
+func (e *CorruptError) Unwrap() error { return e.Err }

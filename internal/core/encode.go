@@ -35,6 +35,8 @@ func WriteBasicSnapshot(w io.Writer, edges uint64, iter func(emit func(u, v uint
 }
 
 // ReadBasicSnapshot streams the edges of a basic-variant snapshot to fn.
+// Damaged input surfaces as a *CorruptError (matching ErrCorrupt) whose
+// Offset is the byte position of the first bad byte.
 func ReadBasicSnapshot(r io.Reader, fn func(u, v uint64) error) error {
 	br := bufio.NewReader(r)
 	n, err := readHeader(br, variantBasic)
@@ -44,7 +46,12 @@ func ReadBasicSnapshot(r io.Reader, fn func(u, v uint64) error) error {
 	for i := uint64(0); i < n; i++ {
 		u, v, err := readEdge(br)
 		if err != nil {
-			return fmt.Errorf("core: edge %d/%d: %w", i, n, err)
+			return &CorruptError{
+				Source: "snapshot",
+				Offset: headerSize + int64(i)*16,
+				Detail: fmt.Sprintf("edge %d/%d truncated", i, n),
+				Err:    err,
+			}
 		}
 		if err := fn(u, v); err != nil {
 			return err
@@ -118,19 +125,33 @@ func LoadWeighted(r io.Reader, cfg Config) (*Weighted, error) {
 	for i := uint64(0); i < n; i++ {
 		u, v, err := readEdge(br)
 		if err != nil {
-			return nil, fmt.Errorf("core: edge %d/%d: %w", i, n, err)
+			return nil, &CorruptError{
+				Source: "snapshot",
+				Offset: headerSize + int64(i)*24,
+				Detail: fmt.Sprintf("edge %d/%d truncated", i, n),
+				Err:    err,
+			}
 		}
 		var weight uint64
 		if err := binary.Read(br, binary.LittleEndian, &weight); err != nil {
-			return nil, fmt.Errorf("core: weight %d/%d: %w", i, n, err)
+			return nil, &CorruptError{
+				Source: "snapshot",
+				Offset: headerSize + int64(i)*24 + 16,
+				Detail: fmt.Sprintf("weight %d/%d truncated", i, n),
+				Err:    err,
+			}
 		}
 		w.Add(u, v, weight)
 	}
 	return w, nil
 }
 
+// headerSize is the byte length of the snapshot header: magic (4),
+// version (1), variant (1), edge count (8).
+const headerSize = 14
+
 func writeHeader(w io.Writer, variant byte, edges uint64) error {
-	var hdr [14]byte
+	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], snapMagic)
 	hdr[4] = snapVersion
 	hdr[5] = variant
@@ -140,18 +161,18 @@ func writeHeader(w io.Writer, variant byte, edges uint64) error {
 }
 
 func readHeader(r io.Reader, wantVariant byte) (uint64, error) {
-	var hdr [14]byte
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, fmt.Errorf("core: snapshot header: %w", err)
+		return 0, &CorruptError{Source: "snapshot", Offset: 0, Detail: "header truncated", Err: err}
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != snapMagic {
-		return 0, fmt.Errorf("core: not a CuckooGraph snapshot")
+		return 0, &CorruptError{Source: "snapshot", Offset: 0, Detail: "not a CuckooGraph snapshot"}
 	}
 	if hdr[4] != snapVersion {
-		return 0, fmt.Errorf("core: unsupported snapshot version %d", hdr[4])
+		return 0, &CorruptError{Source: "snapshot", Offset: 4, Detail: fmt.Sprintf("unsupported snapshot version %d", hdr[4])}
 	}
 	if hdr[5] != wantVariant {
-		return 0, fmt.Errorf("core: snapshot variant %d, want %d", hdr[5], wantVariant)
+		return 0, &CorruptError{Source: "snapshot", Offset: 5, Detail: fmt.Sprintf("snapshot variant %d, want %d", hdr[5], wantVariant)}
 	}
 	return binary.LittleEndian.Uint64(hdr[6:]), nil
 }
@@ -173,4 +194,27 @@ func readEdge(r io.Reader) (u, v uint64, err error) {
 		return 0, 0, err
 	}
 	return binary.LittleEndian.Uint64(buf[0:]), binary.LittleEndian.Uint64(buf[8:]), nil
+}
+
+// MaxVarintLen64 is the worst-case encoded size of one uvarint.
+const MaxVarintLen64 = binary.MaxVarintLen64
+
+// AppendUvarint appends v to buf in LEB128 form and returns the
+// extended slice. It is the shared integer encoding of the variable-
+// width persistence formats (WAL records; compact snapshot variants).
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// Uvarint decodes a uvarint from the front of buf, returning the value
+// and the number of bytes consumed. n <= 0 reports the same failures as
+// encoding/binary.Uvarint: 0 means buf is too short, < 0 means the
+// value overflows 64 bits (and -n bytes were read).
+func Uvarint(buf []byte) (uint64, int) {
+	return binary.Uvarint(buf)
+}
+
+// ReadUvarint decodes a uvarint from r, byte by byte.
+func ReadUvarint(r io.ByteReader) (uint64, error) {
+	return binary.ReadUvarint(r)
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"cuckoograph/internal/hashutil"
@@ -130,6 +132,61 @@ func TestSaveLoadSurvivesDenylistOccupancy(t *testing.T) {
 	for p := range want {
 		if !g2.HasEdge(p.u, p.v) {
 			t.Fatalf("edge %v (possibly denylisted) lost", p)
+		}
+	}
+}
+
+// TestCorruptionIsTyped pins the error contract the WAL and sharded
+// restore paths assert on: snapshot damage matches ErrCorrupt and
+// carries the offset of the first bad byte.
+func TestCorruptionIsTyped(t *testing.T) {
+	g := NewGraph(Config{})
+	for i := uint64(0); i < 10; i++ {
+		g.InsertEdge(i, i+1)
+	}
+	var buf bytes.Buffer
+	g.Save(&buf)
+	data := buf.Bytes()
+
+	_, err := LoadGraph(bytes.NewReader(data[:len(data)-4]), Config{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated snapshot: err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("truncated snapshot: err = %v, want *CorruptError", err)
+	}
+	// The torn edge is the last one: header + 9 intact 16-byte records.
+	if want := int64(14 + 9*16); ce.Offset != want {
+		t.Fatalf("offset = %d, want %d", ce.Offset, want)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("underlying cause lost: %v", err)
+	}
+}
+
+func TestUvarintHelpers(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, ^uint64(0)}
+	var buf []byte
+	for _, v := range vals {
+		buf = AppendUvarint(buf, v)
+	}
+	rest := buf
+	for i, want := range vals {
+		got, n := Uvarint(rest)
+		if n <= 0 || got != want {
+			t.Fatalf("Uvarint #%d = (%d, %d), want %d", i, got, n, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	br := bytes.NewReader(buf)
+	for i, want := range vals {
+		got, err := ReadUvarint(br)
+		if err != nil || got != want {
+			t.Fatalf("ReadUvarint #%d = (%d, %v), want %d", i, got, err, want)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/wal"
 )
 
 // GraphModule wraps a CuckooGraph as a redislike module, providing the
@@ -23,6 +24,20 @@ import (
 type GraphModule struct {
 	swapMu sync.RWMutex
 	g      *sharded.Graph
+
+	// walMu serialises the durability control plane — enable, replay,
+	// checkpoint, close — against itself and against load_rdb's graph
+	// swap. The data plane (insert/del/query) never takes it.
+	walMu sync.Mutex
+	wal   *wal.WAL
+	// recovered remembers the last RecoverWAL so EnableWAL on the same
+	// directory can skip its initial checkpoint: the directory already
+	// describes that exact graph.
+	recovered struct {
+		dir          string
+		g            *sharded.Graph
+		edges, nodes uint64
+	}
 }
 
 // NewGraphModule returns the CuckooGraph module ready for LoadModule.
@@ -35,6 +50,9 @@ func NewGraphModule() (*GraphModule, *Module) {
 			"g.del":          gm.del,
 			"g.query":        gm.query,
 			"g.getneighbors": gm.getNeighbors,
+			"wal_enable":     gm.walEnable,
+			"wal_replay":     gm.walReplay,
+			"checkpoint":     gm.checkpoint,
 		},
 		SaveRDB: gm.saveRDB,
 		LoadRDB: gm.loadRDB,
@@ -78,7 +96,16 @@ func (gm *GraphModule) insert(args []string) resp.Value {
 		return resp.Error("ERR g.insert: " + err.Error())
 	}
 	added := false
-	gm.withGraph(func(g *sharded.Graph) { added = g.InsertEdge(u, v) })
+	var logErr error
+	gm.withGraph(func(g *sharded.Graph) {
+		added = g.InsertEdge(u, v)
+		logErr = g.LogErr()
+	})
+	if logErr != nil {
+		// The edge is in memory but not durably logged; a client that
+		// sees this error must not assume the write survives a crash.
+		return resp.Error("ERR g.insert: wal: " + logErr.Error())
+	}
 	if added {
 		return resp.Integer(1)
 	}
@@ -91,7 +118,14 @@ func (gm *GraphModule) del(args []string) resp.Value {
 		return resp.Error("ERR g.del: " + err.Error())
 	}
 	deleted := false
-	gm.withGraph(func(g *sharded.Graph) { deleted = g.DeleteEdge(u, v) })
+	var logErr error
+	gm.withGraph(func(g *sharded.Graph) {
+		deleted = g.DeleteEdge(u, v)
+		logErr = g.LogErr()
+	})
+	if logErr != nil {
+		return resp.Error("ERR g.del: wal: " + logErr.Error())
+	}
 	if deleted {
 		return resp.Integer(1)
 	}
@@ -144,10 +178,143 @@ func (gm *GraphModule) loadRDB(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("cuckoograph rdb: %w", err)
 	}
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal != nil {
+		// The restore wholesale-replaces state the log knows nothing
+		// about; keep logging on the new graph and checkpoint so the
+		// on-disk recovery state matches it.
+		g.SetWAL(gm.wal)
+	}
 	gm.swapMu.Lock()
 	gm.g = g
 	gm.swapMu.Unlock()
+	if gm.wal != nil {
+		if _, err := wal.Checkpoint(g, gm.wal); err != nil {
+			return fmt.Errorf("cuckoograph rdb: checkpoint after restore: %w", err)
+		}
+	}
 	return nil
+}
+
+// EnableWAL opens (creating if needed) the write-ahead log in dir and
+// attaches it to the graph, making every subsequent acknowledged
+// mutation durable. If the graph already holds edges, an initial
+// checkpoint captures them so recovery of dir is complete on its own —
+// unless the graph is exactly the one RecoverWAL just rebuilt from this
+// same directory, in which case the directory already describes it and
+// the (full-snapshot-sized) checkpoint is skipped.
+func (gm *GraphModule) EnableWAL(dir string, opts wal.Options) error {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal != nil {
+		return fmt.Errorf("wal already enabled in %s", gm.wal.Dir())
+	}
+	w, err := wal.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	g := gm.Graph()
+	g.SetWAL(w)
+	r := gm.recovered
+	coveredByDir := r.g == g && r.dir == dir &&
+		g.NumEdges() == r.edges && g.NumNodes() == r.nodes
+	if g.NumEdges() > 0 && !coveredByDir {
+		if _, err := wal.Checkpoint(g, w); err != nil {
+			g.SetWAL(nil)
+			w.Close()
+			return err
+		}
+	}
+	gm.wal = w
+	return nil
+}
+
+// RecoverWAL rebuilds the graph from dir — newest checkpoint snapshot
+// plus log tail — and installs it. It must run before EnableWAL; the
+// usual boot sequence is RecoverWAL then EnableWAL on the same dir.
+func (gm *GraphModule) RecoverWAL(dir string) (wal.RecoverStats, error) {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal != nil {
+		return wal.RecoverStats{}, fmt.Errorf("wal enabled in %s; replay must happen before wal_enable", gm.wal.Dir())
+	}
+	g, stats, err := wal.Recover(dir, sharded.Config{})
+	if err != nil {
+		return stats, err
+	}
+	gm.swapMu.Lock()
+	gm.g = g
+	gm.swapMu.Unlock()
+	gm.recovered.dir, gm.recovered.g = dir, g
+	gm.recovered.edges, gm.recovered.nodes = g.NumEdges(), g.NumNodes()
+	return stats, nil
+}
+
+// Checkpoint snapshots the graph into the WAL directory and truncates
+// the log segments the snapshot supersedes.
+func (gm *GraphModule) Checkpoint() (string, error) {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal == nil {
+		return "", fmt.Errorf("wal not enabled")
+	}
+	return wal.Checkpoint(gm.Graph(), gm.wal)
+}
+
+// CloseWAL detaches and closes the WAL, flushing everything pending.
+func (gm *GraphModule) CloseWAL() error {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal == nil {
+		return nil
+	}
+	gm.Graph().SetWAL(nil)
+	err := gm.wal.Close()
+	gm.wal = nil
+	return err
+}
+
+func (gm *GraphModule) walEnable(args []string) resp.Value {
+	if len(args) < 1 || len(args) > 2 {
+		return resp.Error("ERR wal_enable: expected <dir> [always|nosync|async]")
+	}
+	mode := ""
+	if len(args) == 2 {
+		mode = args[1]
+	}
+	sync, err := wal.ParseSyncPolicy(mode)
+	if err != nil {
+		return resp.Error("ERR wal_enable: " + err.Error())
+	}
+	if err := gm.EnableWAL(args[0], wal.Options{Sync: sync}); err != nil {
+		return resp.Error("ERR wal_enable: " + err.Error())
+	}
+	return resp.Simple("OK")
+}
+
+func (gm *GraphModule) walReplay(args []string) resp.Value {
+	if len(args) != 1 {
+		return resp.Error("ERR wal_replay: expected <dir>")
+	}
+	stats, err := gm.RecoverWAL(args[0])
+	if err != nil {
+		return resp.Error("ERR wal_replay: " + err.Error())
+	}
+	return resp.Bulk(fmt.Sprintf("edges=%d records=%d segments=%d torn_bytes=%d snapshot=%s",
+		gm.Graph().NumEdges(), stats.Replay.Records, stats.Replay.Segments,
+		stats.Replay.TornBytes, stats.Snapshot))
+}
+
+func (gm *GraphModule) checkpoint(args []string) resp.Value {
+	if len(args) != 0 {
+		return resp.Error("ERR checkpoint: expected no arguments")
+	}
+	path, err := gm.Checkpoint()
+	if err != nil {
+		return resp.Error("ERR checkpoint: " + err.Error())
+	}
+	return resp.Bulk(path)
 }
 
 // AOFRewrite emits the command stream that rebuilds the graph — the

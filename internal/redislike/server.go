@@ -42,6 +42,14 @@ type Server struct {
 
 	ln     net.Listener
 	closed chan struct{}
+
+	// connMu/conns/connWG let Close drain: it closes every live
+	// connection and waits for its serve goroutine to finish the command
+	// in flight, so post-Close teardown (e.g. closing a WAL) cannot race
+	// an acknowledgement.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
 }
 
 // NewServer returns a server with the built-in commands registered.
@@ -50,6 +58,7 @@ func NewServer() *Server {
 		strings: make(map[string]string),
 		cmds:    make(map[string]HandlerFunc),
 		closed:  make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
 	}
 }
 
@@ -109,13 +118,43 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener, closes every live connection and waits for
+// their handlers to finish the command in flight.
 func (s *Server) Close() error {
 	close(s.closed)
+	var err error
 	if s.ln != nil {
-		return s.ln.Close()
+		err = s.ln.Close()
 	}
-	return nil
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	return err
+}
+
+// track registers a live connection, refusing it if the server is
+// already closing. It pairs with untrack.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	s.connWG.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.connWG.Done()
 }
 
 func (s *Server) acceptLoop() {
@@ -135,6 +174,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {

@@ -24,6 +24,21 @@ import (
 	"cuckoograph/internal/core"
 )
 
+// Logger receives every successful mutation for durability. Each call
+// happens while the owning shard's write lock is held, immediately
+// after the in-memory mutation, so for any one shard (and hence for any
+// one source node) the log order equals the application order — which
+// is what makes replay deterministic. The mutation is only acknowledged
+// to the caller once the Logger returns, so a group-committing
+// implementation gives synchronous durability.
+//
+// A Logger is only invoked for mutations that changed the graph:
+// duplicate inserts and deletes of absent edges are not logged.
+type Logger interface {
+	LogInsert(u, v uint64) error
+	LogDelete(u, v uint64) error
+}
+
 // Config tunes a sharded graph.
 type Config struct {
 	// Core is the per-shard CuckooGraph tuning. Each shard derives a
@@ -32,6 +47,9 @@ type Config struct {
 	// Shards is P, the number of partitions. It is rounded up to a power
 	// of two; zero or negative defaults to runtime.GOMAXPROCS(0).
 	Shards int
+	// WAL, when non-nil, is invoked under the shard lock for every
+	// mutation (see Logger). It can also be attached later with SetWAL.
+	WAL Logger
 }
 
 // shard is one partition: a private core engine behind its own lock.
@@ -50,6 +68,13 @@ type Graph struct {
 
 	edges atomic.Uint64
 	nodes atomic.Uint64
+
+	// wal is the attached durability hook; nil disables logging. It is
+	// swapped atomically so SetWAL is safe against in-flight mutations.
+	wal atomic.Pointer[Logger]
+
+	logErrMu sync.Mutex
+	logErr   error
 }
 
 // ShardCount normalises a requested shard count: zero or negative means
@@ -77,7 +102,59 @@ func New(cfg Config) *Graph {
 		sc.Seed = base.Seed + uint64(i)*0x9E3779B97F4A7C15
 		g.shards[i].g = core.NewGraph(sc)
 	}
+	if cfg.WAL != nil {
+		g.SetWAL(cfg.WAL)
+	}
 	return g
+}
+
+// SetWAL attaches (or, with nil, detaches) the durability hook. Only
+// mutations that start after SetWAL returns are guaranteed to be
+// logged, so attach the WAL before the graph takes writes — or take a
+// checkpoint right after attaching to capture pre-existing edges.
+// Swapping the hook clears LogErr: a sticky failure belongs to the
+// logger that produced it, not to its healthy replacement.
+func (g *Graph) SetWAL(l Logger) {
+	if l == nil {
+		g.wal.Store(nil)
+	} else {
+		g.wal.Store(&l)
+	}
+	g.logErrMu.Lock()
+	g.logErr = nil
+	g.logErrMu.Unlock()
+}
+
+// logMutation feeds one applied mutation to the attached Logger, if
+// any. It runs under the owning shard's write lock.
+func (g *Graph) logMutation(del bool, u, v uint64) {
+	p := g.wal.Load()
+	if p == nil {
+		return
+	}
+	var err error
+	if del {
+		err = (*p).LogDelete(u, v)
+	} else {
+		err = (*p).LogInsert(u, v)
+	}
+	if err != nil {
+		g.logErrMu.Lock()
+		if g.logErr == nil {
+			g.logErr = err
+		}
+		g.logErrMu.Unlock()
+	}
+}
+
+// LogErr returns the first error the attached Logger reported, if any.
+// Once a WAL errors (disk full, I/O failure) the in-memory graph keeps
+// serving but its durability guarantee is void; servers should surface
+// this to clients.
+func (g *Graph) LogErr() error {
+	g.logErrMu.Lock()
+	defer g.logErrMu.Unlock()
+	return g.logErr
 }
 
 // Load reads a basic-variant snapshot (the format of core.Graph.Save)
@@ -118,6 +195,7 @@ func (g *Graph) InsertEdge(u, v uint64) bool {
 	added := sh.g.InsertEdge(u, v)
 	if added {
 		g.edges.Add(1)
+		g.logMutation(false, u, v)
 	}
 	g.nodes.Add(sh.g.NumNodes() - n0)
 	sh.mu.Unlock()
@@ -141,6 +219,7 @@ func (g *Graph) DeleteEdge(u, v uint64) bool {
 	deleted := sh.g.DeleteEdge(u, v)
 	if deleted {
 		g.edges.Add(^uint64(0))
+		g.logMutation(true, u, v)
 	}
 	g.nodes.Add(sh.g.NumNodes() - n0)
 	sh.mu.Unlock()
@@ -267,6 +346,18 @@ func (g *Graph) Stats() core.Stats {
 // Every shard's read lock is held for the duration, so the snapshot is a
 // consistent cut even under concurrent mutation.
 func (g *Graph) Save(w io.Writer) error {
+	return g.Checkpoint(w, nil)
+}
+
+// Checkpoint writes a Save-format snapshot, invoking cut (if non-nil)
+// while every shard's read lock is held, before any edge is emitted.
+// Because mutations log to the WAL under a shard's write lock — which
+// cannot be held while all read locks are — a cut that rotates the WAL
+// partitions the log exactly: every record logged before Checkpoint was
+// called lands in segments older than the rotation, every record after
+// in newer ones, and the snapshot reflects precisely the old segments.
+// That is the contract snapshot-plus-log-tail recovery depends on.
+func (g *Graph) Checkpoint(w io.Writer, cut func() error) error {
 	for i := range g.shards {
 		g.shards[i].mu.RLock()
 	}
@@ -275,6 +366,11 @@ func (g *Graph) Save(w io.Writer) error {
 			g.shards[i].mu.RUnlock()
 		}
 	}()
+	if cut != nil {
+		if err := cut(); err != nil {
+			return err
+		}
+	}
 	var edges uint64
 	for i := range g.shards {
 		edges += g.shards[i].g.NumEdges()

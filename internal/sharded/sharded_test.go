@@ -2,9 +2,11 @@ package sharded
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 
+	"cuckoograph/internal/core"
 	"cuckoograph/internal/hashutil"
 )
 
@@ -246,5 +248,116 @@ func TestReentrantTraversal(t *testing.T) {
 	})
 	if !g.HasEdge(11, 1) {
 		t.Fatal("reverse edge missing after reentrant traversal")
+	}
+}
+
+// TestLoadSurfacesTypedCorruption verifies snapshot restore reports
+// damage as core.ErrCorrupt with the byte offset of the first bad
+// byte, so WAL recovery and operators can tell "truncated snapshot"
+// from ordinary I/O failure.
+func TestLoadSurfacesTypedCorruption(t *testing.T) {
+	g := New(Config{Shards: 2})
+	for i := uint64(0); i < 50; i++ {
+		g.InsertEdge(i, i+1)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte{0, 0, 0, 0}, snap[4:]...)},
+		{"truncated mid-edge", snap[:len(snap)-5]},
+	} {
+		_, err := Load(bytes.NewReader(tc.data), Config{Shards: 2})
+		if !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want core.ErrCorrupt", tc.name, err)
+		}
+		var ce *core.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: err = %v, want *core.CorruptError", tc.name, err)
+		}
+		if tc.name == "truncated mid-edge" && ce.Offset == 0 {
+			t.Fatalf("%s: offset = 0, want the offset of the torn edge", tc.name)
+		}
+	}
+}
+
+// walRecorder is a Logger that captures the mutation stream.
+type walRecorder struct {
+	mu   sync.Mutex
+	ops  [][3]uint64 // {op, u, v}; op 0 = insert, 1 = delete
+	fail error
+}
+
+func (r *walRecorder) LogInsert(u, v uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, [3]uint64{0, u, v})
+	return r.fail
+}
+
+func (r *walRecorder) LogDelete(u, v uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, [3]uint64{1, u, v})
+	return r.fail
+}
+
+// TestWALHookLogsOnlyMutations verifies the Logger sees exactly the
+// state-changing operations, in order, and that logger failures surface
+// through LogErr.
+func TestWALHookLogsOnlyMutations(t *testing.T) {
+	rec := &walRecorder{}
+	g := New(Config{Shards: 2, WAL: rec})
+	g.InsertEdge(1, 2)
+	g.InsertEdge(1, 2) // duplicate: not logged
+	g.DeleteEdge(9, 9) // absent: not logged
+	g.DeleteEdge(1, 2)
+	want := [][3]uint64{{0, 1, 2}, {1, 1, 2}}
+	rec.mu.Lock()
+	got := append([][3]uint64(nil), rec.ops...)
+	rec.mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("logged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logged %v, want %v", got, want)
+		}
+	}
+	if err := g.LogErr(); err != nil {
+		t.Fatalf("LogErr = %v, want nil", err)
+	}
+
+	rec.fail = errors.New("disk full")
+	g.InsertEdge(3, 4)
+	if err := g.LogErr(); err == nil || err.Error() != "disk full" {
+		t.Fatalf("LogErr = %v, want disk full", err)
+	}
+}
+
+// TestSetWALClearsLogErr: a sticky log failure belongs to the logger
+// that produced it — swapping in a healthy logger (or detaching) must
+// not keep poisoning mutations.
+func TestSetWALClearsLogErr(t *testing.T) {
+	rec := &walRecorder{fail: errors.New("disk full")}
+	g := New(Config{Shards: 2, WAL: rec})
+	g.InsertEdge(1, 2)
+	if g.LogErr() == nil {
+		t.Fatal("failure not recorded")
+	}
+	g.SetWAL(&walRecorder{})
+	if err := g.LogErr(); err != nil {
+		t.Fatalf("LogErr after swap = %v, want nil", err)
+	}
+	g.InsertEdge(3, 4)
+	if err := g.LogErr(); err != nil {
+		t.Fatalf("healthy logger poisoned: %v", err)
 	}
 }

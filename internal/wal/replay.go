@@ -1,0 +1,351 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/sharded"
+)
+
+// ReplayStats summarises one replay pass.
+type ReplayStats struct {
+	// Segments is how many segment files were read.
+	Segments int
+	// Records is how many intact records were delivered.
+	Records uint64
+	// TornBytes is the size of the dropped torn tail, zero for a log
+	// that was cleanly closed.
+	TornBytes int64
+}
+
+// Replay streams every intact record in segments with index >= fromSeg,
+// in log order, to fn. A torn tail on the newest segment — the residue
+// of a crash mid-write — is dropped and counted in TornBytes; damage
+// anywhere else fails with an error matching core.ErrCorrupt that
+// carries the segment file and byte offset. Use fromSeg 0 to replay the
+// whole directory, or a checkpoint's cut segment to replay only the
+// records the snapshot does not cover.
+func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	for i, s := range segs {
+		if s.index < fromSeg {
+			continue
+		}
+		last := i == len(segs)-1
+		valid, n, err := scanSegment(s.path, s.index, last, fn)
+		if err != nil {
+			return stats, err
+		}
+		stats.Segments++
+		stats.Records += n
+		if last {
+			if fi, err := os.Stat(s.path); err == nil && fi.Size() > valid {
+				stats.TornBytes = fi.Size() - valid
+			}
+		}
+	}
+	return stats, nil
+}
+
+// scanSegment reads one segment, delivering records to fn (which may be
+// nil to just validate). It returns the byte length of the intact
+// prefix and the record count. With tolerateTail set — correct only for
+// the newest segment — a bad suffix within one frame of end-of-file is
+// a torn write (a crash leaves a partial record at the physical end)
+// and ends the scan cleanly at the last intact record. Damage followed
+// by more than a frame of data cannot be a tear, so even on the newest
+// segment it is reported as corruption rather than silently dropping
+// the acknowledged records after it.
+func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u, v uint64) error) (int64, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	fileSize := fi.Size()
+	br := bufio.NewReaderSize(f, 1<<20)
+	name := filepath.Base(path)
+
+	corrupt := func(off int64, detail string, cause error) error {
+		return &core.CorruptError{Source: name, Offset: off, Detail: detail, Err: cause}
+	}
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if tolerateTail {
+			// A crash can even tear the header write of a fresh segment.
+			return 0, 0, nil
+		}
+		return 0, 0, corrupt(0, "segment header truncated", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != segMagic {
+		return 0, 0, corrupt(0, "not a WAL segment", nil)
+	}
+	if hdr[4] != segVersion {
+		return 0, 0, corrupt(4, fmt.Sprintf("unsupported WAL version %d", hdr[4]), nil)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[5:]); got != index {
+		return 0, 0, corrupt(5, fmt.Sprintf("segment claims index %d, file named %d", got, index), nil)
+	}
+
+	// A single record occupies at most maxFrame bytes, so a tear — the
+	// missing suffix of the final write — can only start this close to
+	// the end of the file.
+	const maxFrame = frameOverhead + maxPayload
+	valid := int64(segHeaderSize)
+	var records uint64
+	var payload [maxPayload]byte
+	for {
+		length, n, err := readUvarintCounted(br)
+		if err == io.EOF && n == 0 {
+			return valid, records, nil // clean end on a record boundary
+		}
+		bad := func(detail string, cause error) (int64, uint64, error) {
+			if tolerateTail && fileSize-valid <= maxFrame {
+				return valid, records, nil
+			}
+			return 0, 0, corrupt(valid, detail, cause)
+		}
+		if err != nil {
+			return bad("record length truncated", err)
+		}
+		if length == 0 || length > maxPayload {
+			return bad(fmt.Sprintf("implausible record length %d", length), nil)
+		}
+		p := payload[:length]
+		if _, err := io.ReadFull(br, p); err != nil {
+			return bad("record payload truncated", err)
+		}
+		var crcb [crcSize]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			return bad("record checksum truncated", err)
+		}
+		if binary.LittleEndian.Uint32(crcb[:]) != crc32.Checksum(p, castagnoli) {
+			return bad("checksum mismatch", nil)
+		}
+		op := Op(p[0])
+		if op != OpInsert && op != OpDelete {
+			return bad(fmt.Sprintf("unknown op %d", p[0]), nil)
+		}
+		u, un := core.Uvarint(p[1:])
+		if un <= 0 {
+			return bad("bad u varint", nil)
+		}
+		v, vn := core.Uvarint(p[1+un:])
+		if vn <= 0 || 1+un+vn != int(length) {
+			return bad("bad v varint", nil)
+		}
+		if fn != nil {
+			if err := fn(op, u, v); err != nil {
+				return 0, 0, err
+			}
+		}
+		valid += int64(n) + int64(length) + crcSize
+		records++
+	}
+}
+
+// readUvarintCounted decodes a uvarint and reports how many bytes it
+// consumed, so the scanner can keep exact offsets.
+func readUvarintCounted(br *bufio.Reader) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, i, err
+		}
+		if i == core.MaxVarintLen64 {
+			return 0, i + 1, fmt.Errorf("wal: uvarint overflows 64 bits")
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// RecoverStats summarises one recovery.
+type RecoverStats struct {
+	// Snapshot is the checkpoint file that anchored recovery, empty if
+	// recovery replayed the log from its beginning.
+	Snapshot string
+	// SnapshotSeg is the snapshot's cut segment: replay started there.
+	SnapshotSeg uint64
+	// Replay covers the log-tail pass.
+	Replay ReplayStats
+	// Elapsed is the wall-clock recovery time.
+	Elapsed time.Duration
+}
+
+// Recover rebuilds a sharded graph from dir: load the newest checkpoint
+// snapshot, if any, then replay the log tail the snapshot does not
+// cover. An empty or missing directory yields an empty graph. The
+// returned graph has no WAL attached; callers typically Open the same
+// directory next and SetWAL it.
+func Recover(dir string, cfg sharded.Config) (*sharded.Graph, RecoverStats, error) {
+	var stats RecoverStats
+	start := time.Now()
+	cfg.WAL = nil
+
+	snap, seg, err := newestCheckpoint(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, stats, err
+	}
+	var g *sharded.Graph
+	if snap != "" {
+		f, err := os.Open(snap)
+		if err != nil {
+			return nil, stats, err
+		}
+		g, err = sharded.Load(f, cfg)
+		f.Close()
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: checkpoint %s: %w", filepath.Base(snap), err)
+		}
+		stats.Snapshot, stats.SnapshotSeg = snap, seg
+	} else {
+		g = sharded.New(cfg)
+	}
+
+	stats.Replay, err = Replay(dir, seg, func(op Op, u, v uint64) error {
+		switch op {
+		case OpInsert:
+			g.InsertEdge(u, v)
+		case OpDelete:
+			g.DeleteEdge(u, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Elapsed = time.Since(start)
+	return g, stats, nil
+}
+
+// Checkpoint writes a consistent snapshot of g into the WAL directory
+// and compacts the log: the snapshot is cut against a segment rotation
+// (see sharded.Graph.Checkpoint for why the cut is exact), fsynced and
+// atomically renamed into place, and only then are the superseded
+// segments and older checkpoints deleted — so a crash at any point
+// leaves either the old recovery state or the new one, never neither.
+// It returns the checkpoint file path.
+func Checkpoint(g *sharded.Graph, w *WAL) (string, error) {
+	dir := w.Dir()
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+
+	var cut uint64
+	err = g.Checkpoint(tmp, func() error {
+		var rerr error
+		cut, rerr = w.Rotate()
+		return rerr
+	})
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", err
+	}
+
+	final := checkpointPath(dir, cut)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	if err := w.RemoveSegmentsBefore(cut); err != nil {
+		return final, err
+	}
+	if err := removeCheckpointsBefore(dir, cut); err != nil {
+		return final, err
+	}
+	return final, nil
+}
+
+func checkpointPath(dir string, seg uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", checkpointPrefix, seg, checkpointSuffix))
+}
+
+// newestCheckpoint returns the path and cut segment of the newest
+// checkpoint snapshot in dir, or ("", 0, nil) when there is none.
+func newestCheckpoint(dir string) (string, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	var best string
+	var bestSeg uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+			continue
+		}
+		seg, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), checkpointSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		if best == "" || seg > bestSeg {
+			best, bestSeg = filepath.Join(dir, name), seg
+		}
+	}
+	return best, bestSeg, nil
+}
+
+func removeCheckpointsBefore(dir string, seg uint64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var removed bool
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+			continue
+		}
+		s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), checkpointSuffix), 10, 64)
+		if err != nil || s >= seg {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return syncDir(dir)
+	}
+	return nil
+}

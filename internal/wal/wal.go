@@ -1,0 +1,615 @@
+// Package wal is the durability engine under the sharded CuckooGraph:
+// a segmented, CRC-checksummed, append-only log of edge mutations plus
+// snapshot-anchored recovery.
+//
+// Each segment file starts with a 13-byte header (magic, version,
+// segment index) followed by self-delimiting records:
+//
+//	uvarint payloadLen | payload | crc32c(payload)
+//	payload = op byte | uvarint u | uvarint v
+//
+// Writers call Append, which group-commits: the first waiter becomes
+// the leader, writes every pending record with one write(2) and (under
+// SyncAlways) one fsync, then wakes the followers. Concurrent writers —
+// e.g. the sharded engine's per-shard mutators — therefore amortize
+// fsync latency across the whole batch while still getting synchronous
+// durability: Append does not return until the record is on disk.
+//
+// Recovery tolerates a torn tail (a crash mid-write leaves a partial or
+// CRC-failing final record, which is dropped) but treats damage
+// anywhere else as core.ErrCorrupt. Checkpoint writes a consistent
+// snapshot cut against a segment rotation and deletes the log prefix
+// the snapshot supersedes, bounding replay work.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"cuckoograph/internal/core"
+)
+
+// Op tags one log record.
+type Op byte
+
+// The record kinds. Values are stable on-disk format.
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// ParseSyncPolicy maps the user-facing policy names — the wal_enable
+// command argument and the cgserver -wal-sync flag share it. The empty
+// string means the default, SyncAlways.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "always":
+		return SyncAlways, nil
+	case "nosync":
+		return SyncNone, nil
+	case "async":
+		return SyncAsync, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always|nosync|async)", s)
+}
+
+// SyncPolicy says when Append fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs once per group commit: every acknowledged
+	// record survives both process and machine crash.
+	SyncAlways SyncPolicy = iota
+	// SyncNone writes without fsync: acknowledged records survive a
+	// process crash (they are in the page cache) but a machine crash can
+	// lose the un-synced suffix. Rotation and Close still fsync.
+	SyncNone
+	// SyncAsync acknowledges appends as soon as they are queued and
+	// lets a background flusher write them — the Redis "everysec"
+	// trade: near-in-memory append throughput, but a crash can lose the
+	// not-yet-written suffix. Replay treats that suffix exactly like a
+	// torn tail. Sync, Rotate and Close still drain and fsync, so
+	// checkpoints and sealed segments keep their guarantees.
+	SyncAsync
+)
+
+// Options tunes a WAL.
+type Options struct {
+	// SegmentBytes is the rotation threshold; a segment that reaches it
+	// is closed and a new one started. Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Sync is the fsync policy for group commits.
+	Sync SyncPolicy
+}
+
+// DefaultSegmentBytes is the default segment rotation threshold.
+const DefaultSegmentBytes = 64 << 20
+
+const (
+	segMagic   = 0x4C574743 // "CGWL" little-endian
+	segVersion = 1
+	// segHeaderSize is magic (4) + version (1) + segment index (8).
+	segHeaderSize = 13
+	// maxPayload bounds a record payload: op byte + two max uvarints.
+	// Anything larger in a length prefix is damage, not a record.
+	maxPayload = 1 + 2*core.MaxVarintLen64
+	// frameOverhead is the non-payload bytes per record: a worst-case
+	// length prefix is 1 byte (maxPayload < 128) and the CRC is 4.
+	frameOverhead = 1 + crcSize
+	crcSize       = 4
+
+	segSuffix        = ".seg"
+	segPrefix        = "wal-"
+	checkpointPrefix = "checkpoint-"
+	checkpointSuffix = ".snap"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// WAL is an open, appendable log rooted at one directory.
+type WAL struct {
+	dir  string
+	opts Options
+	lock *os.File // flock-held LOCK file: one writing process per dir
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File // current segment, positioned at its end
+	seg  uint64   // current segment index
+	size int64    // bytes written to the current segment
+
+	pending  []byte // encoded frames awaiting the next group commit
+	nextSeq  uint64 // sequence number of the most recently queued record
+	flushed  uint64 // highest sequence durably written
+	flushing bool   // a leader is writing outside mu
+	err      error  // sticky: first write/sync failure poisons the WAL
+	closed   bool
+}
+
+// Open opens (creating if needed) the WAL in dir and prepares it for
+// appending. If the newest segment ends in a torn record — the
+// signature of a crash mid-write — the tail is truncated to the last
+// intact record so new appends extend a clean log.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opts: opts, lock: lock}
+	w.cond = sync.NewCond(&w.mu)
+	if err := w.openForAppend(); err != nil {
+		if w.f != nil {
+			w.f.Close()
+		}
+		w.unlockDir()
+		return nil, err
+	}
+	w.startFlusher()
+	return w, nil
+}
+
+// openForAppend positions w at the end of the newest intact record,
+// creating the first segment if the directory is fresh.
+func (w *WAL) openForAppend() error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return w.openSegment(1)
+	}
+	last := segs[len(segs)-1]
+	valid, _, err := scanSegment(last.path, last.index, true, nil)
+	if err != nil {
+		return err
+	}
+	if valid < segHeaderSize {
+		// The crash tore the segment's own header; recreate it whole
+		// rather than appending records to a headerless file.
+		if err := os.Remove(last.path); err != nil {
+			return err
+		}
+		return w.openSegment(last.index)
+	}
+	f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	if fi, err := f.Stat(); err != nil {
+		return err
+	} else if fi.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			return err
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		return err
+	}
+	w.seg, w.size = last.index, valid
+	if w.size >= w.opts.SegmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// lockDir takes an exclusive flock on dir/LOCK so only one process
+// appends to a WAL directory at a time. The kernel drops the lock when
+// the process dies, so a SIGKILL never wedges the next boot.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func (w *WAL) unlockDir() {
+	if w.lock != nil {
+		// Closing the descriptor releases the flock.
+		w.lock.Close()
+		w.lock = nil
+	}
+}
+
+// startFlusher spawns the background writer behind SyncAsync appends.
+// It drains pending whenever woken and exits once the WAL closes or
+// poisons itself.
+func (w *WAL) startFlusher() {
+	if w.opts.Sync != SyncAsync {
+		return
+	}
+	go func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		for {
+			for len(w.pending) == 0 && !w.closed && w.err == nil {
+				w.cond.Wait()
+			}
+			if w.closed || w.err != nil {
+				return
+			}
+			batch := w.pending
+			w.pending = nil
+			hi := w.nextSeq
+			w.flushing = true
+			w.mu.Unlock()
+			err := w.writeBatch(batch)
+			w.mu.Lock()
+			w.flushing = false
+			if err != nil {
+				if w.err == nil {
+					w.err = err
+				}
+			} else {
+				w.flushed = hi
+			}
+			w.cond.Broadcast()
+		}
+	}()
+}
+
+// Dir returns the WAL's directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Segment returns the index of the segment currently appended to.
+func (w *WAL) Segment() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seg
+}
+
+// Err returns the sticky error, if the WAL has failed.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// LogInsert implements sharded.Logger.
+func (w *WAL) LogInsert(u, v uint64) error { return w.Append(OpInsert, u, v) }
+
+// LogDelete implements sharded.Logger.
+func (w *WAL) LogDelete(u, v uint64) error { return w.Append(OpDelete, u, v) }
+
+// Append durably logs one record and returns once it (and, for free,
+// every record queued alongside it) is written — the group commit.
+func (w *WAL) Append(op Op, u, v uint64) error {
+	var frame [maxPayload + frameOverhead]byte
+	rec := encodeFrame(frame[:0], op, u, v)
+
+	w.mu.Lock()
+	if w.err != nil {
+		w.mu.Unlock()
+		return w.err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	w.pending = append(w.pending, rec...)
+	w.nextSeq++
+	seq := w.nextSeq
+	if w.opts.Sync == SyncAsync {
+		// Acknowledge immediately; the background flusher owns the write.
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return nil
+	}
+	for {
+		if w.flushed >= seq {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		if !w.flushing {
+			break
+		}
+		w.cond.Wait()
+	}
+	// This writer is the leader: it owns the file until flushing clears.
+	w.flushing = true
+	batch := w.pending
+	w.pending = nil
+	hi := w.nextSeq
+	w.mu.Unlock()
+
+	err := w.writeBatch(batch)
+
+	w.mu.Lock()
+	w.flushing = false
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+	} else {
+		w.flushed = hi
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return err
+}
+
+// writeBatch writes one group-commit batch to the current segment,
+// fsyncs per policy, and rotates if the segment is full. Only the
+// leader (flushing set) or a holder of mu with flushing clear may call
+// it — either way access to the file is exclusive.
+func (w *WAL) writeBatch(batch []byte) error {
+	if _, err := w.f.Write(batch); err != nil {
+		return fmt.Errorf("wal: append segment %d: %w", w.seg, err)
+	}
+	w.size += int64(len(batch))
+	if w.opts.Sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync segment %d: %w", w.seg, err)
+		}
+	}
+	if w.size >= w.opts.SegmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// rotate closes the current segment (fsyncing it regardless of policy,
+// so a sealed segment is always durable) and opens the next.
+func (w *WAL) rotate() error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: seal segment %d: %w", w.seg, err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("wal: seal segment %d: %w", w.seg, err)
+		}
+		w.f = nil
+	}
+	return w.openSegment(w.seg + 1)
+}
+
+// openSegment creates segment index and makes it current.
+func (w *WAL) openSegment(index uint64) error {
+	path := segmentPath(w.dir, index)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %d: %w", index, err)
+	}
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], segMagic)
+	hdr[4] = segVersion
+	binary.LittleEndian.PutUint64(hdr[5:], index)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create segment %d: %w", index, err)
+	}
+	if w.opts.Sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: create segment %d: %w", index, err)
+		}
+		if err := syncDir(w.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.f, w.seg, w.size = f, index, segHeaderSize
+	return nil
+}
+
+// exclusive acquires mu with no leader in flight, giving the caller
+// sole ownership of the file. Callers must release mu when done.
+func (w *WAL) exclusive() error {
+	w.mu.Lock()
+	for w.flushing {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+// flushPendingLocked writes any queued-but-unwritten records. Requires
+// mu held with flushing clear.
+func (w *WAL) flushPendingLocked() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	batch := w.pending
+	w.pending = nil
+	if err := w.writeBatch(batch); err != nil {
+		w.err = err
+		w.cond.Broadcast()
+		return err
+	}
+	w.flushed = w.nextSeq
+	w.cond.Broadcast()
+	return nil
+}
+
+// Sync forces everything appended so far onto disk, regardless of the
+// sync policy.
+func (w *WAL) Sync() error {
+	if err := w.exclusive(); err != nil {
+		return err
+	}
+	defer w.mu.Unlock()
+	if err := w.flushPendingLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync segment %d: %w", w.seg, err)
+		return w.err
+	}
+	return nil
+}
+
+// Rotate seals the current segment and starts a new one, returning the
+// new segment's index. It is the checkpoint cut: records appended
+// before Rotate land in segments < the returned index, records after
+// in segments >= it.
+func (w *WAL) Rotate() (uint64, error) {
+	if err := w.exclusive(); err != nil {
+		return 0, err
+	}
+	defer w.mu.Unlock()
+	if err := w.flushPendingLocked(); err != nil {
+		return 0, err
+	}
+	if err := w.rotate(); err != nil {
+		w.err = err
+		return 0, err
+	}
+	return w.seg, nil
+}
+
+// RemoveSegmentsBefore deletes every sealed segment with index < seg —
+// the log-compaction step after a checkpoint at cut seg. The current
+// segment is never removed.
+func (w *WAL) RemoveSegmentsBefore(seg uint64) error {
+	if err := w.exclusive(); err != nil {
+		return err
+	}
+	cur := w.seg
+	w.mu.Unlock()
+
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.index < seg && s.index != cur {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: remove %s: %w", s.path, err)
+			}
+		}
+	}
+	return syncDir(w.dir)
+}
+
+// Close flushes, fsyncs and closes the WAL. Further appends fail with
+// ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	for w.flushing {
+		w.cond.Wait()
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.err == nil {
+		err = w.flushPendingLocked()
+		if err == nil {
+			if serr := w.f.Sync(); serr != nil {
+				err = fmt.Errorf("wal: fsync segment %d: %w", w.seg, serr)
+			}
+		}
+	}
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	w.unlockDir()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return err
+}
+
+// encodeFrame appends one framed record to buf and returns it.
+func encodeFrame(buf []byte, op Op, u, v uint64) []byte {
+	var payload [maxPayload]byte
+	p := payload[:0]
+	p = append(p, byte(op))
+	p = core.AppendUvarint(p, u)
+	p = core.AppendUvarint(p, v)
+	buf = core.AppendUvarint(buf, uint64(len(p)))
+	buf = append(buf, p...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(p, castagnoli))
+}
+
+func segmentPath(dir string, index uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", segPrefix, index, segSuffix))
+}
+
+type segmentRef struct {
+	path  string
+	index uint64
+}
+
+// listSegments returns the directory's segment files sorted by index.
+func listSegments(dir string) ([]segmentRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentRef
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segmentRef{path: filepath.Join(dir, name), index: idx})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
