@@ -9,7 +9,7 @@
 //
 // Experiments: table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 // fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 kicks
-// concurrent parallel durability all
+// concurrent parallel durability batchops all
 package main
 
 import (
@@ -43,7 +43,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|durability|all>")
+		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|durability|batchops|all>")
 		os.Exit(2)
 	}
 	run(flag.Arg(0))
@@ -92,11 +92,13 @@ func run(name string) {
 		parallelAnalytics()
 	case "durability":
 		durability()
+	case "batchops":
+		batchOps()
 	case "all":
 		for _, n := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "concurrent", "parallel",
-			"durability"} {
+			"durability", "batchops"} {
 			run(n)
 			fmt.Println()
 		}
@@ -147,10 +149,7 @@ func table2() {
 func table3() {
 	fmt.Printf("== Table III: amortized complexity check (scale 1/%d) ==\n", *scale)
 	g := core.NewGraph(core.Config{LCHTBase: 4, SCHTBase: 4})
-	st := stream("NotreDame")
-	for _, e := range st {
-		g.InsertEdge(e.U, e.V)
-	}
+	bench.LoadStream(g, stream("NotreDame"))
 	s := g.Stats()
 	n := float64(s.Edges)
 	lcht := float64(s.LCHTPlacements + s.LCHTKicks)
@@ -435,9 +434,7 @@ func concurrent() {
 func parallelAnalytics() {
 	fmt.Printf("== Parallel analytics: worker-pool vs sequential, seconds (CAIDA, scale 1/%d) ==\n", *scale)
 	g := sharded.New(sharded.Config{})
-	for _, e := range stream("CAIDA") {
-		g.InsertEdge(e.U, e.V)
-	}
+	bench.LoadStream(g, stream("CAIDA"))
 	root := analytics.TopDegreeNodes(g, 1)
 	if len(root) == 0 {
 		fmt.Println("empty graph, nothing to analyse")
@@ -496,13 +493,42 @@ func durability() {
 		rows)
 }
 
+// batchOps prices the batched mutation pipeline end-to-end: the CAIDA
+// stream ingested through ApplyBatch at several batch sizes versus the
+// single-op path, all logging to an async WAL, reporting Mops and the
+// log bytes each applied edge cost.
+func batchOps() {
+	fmt.Printf("== Batched ingestion: ApplyBatch vs single-op, WAL async (CAIDA, scale 1/%d) ==\n", *scale)
+	st := stream("CAIDA")
+	dir, err := os.MkdirTemp("", "cgbench-batch-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	results, err := bench.BatchOps(st, []int{1, 64, 1024}, dir, wal.Options{Sync: wal.SyncAsync})
+	if err != nil {
+		panic(err)
+	}
+	single := results[0].Mops
+	rows := [][]string{}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Label(),
+			fmt.Sprintf("%.3f", r.Mops),
+			bench.Ratio(r.Mops, single),
+			fmt.Sprintf("%.3f", float64(r.WALBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", r.BytesPerEdge),
+		})
+	}
+	bench.PrintTable(os.Stdout,
+		[]string{"path", "insert Mops", "speedup", "WAL MB", "WAL B/edge"}, rows)
+}
+
 // kicks reproduces the §IV-A measurement: average insertions per item.
 func kicks() {
 	fmt.Printf("== §IV-A: average insertions per item (NotreDame, scale 1/%d) ==\n", *scale)
 	g := core.NewGraph(core.Config{LCHTBase: 4, SCHTBase: 4}) // grow from minimum length
-	for _, e := range stream("NotreDame") {
-		g.InsertEdge(e.U, e.V)
-	}
+	bench.LoadStream(g, stream("NotreDame"))
 	s := g.Stats()
 	lcht := 1 + float64(s.LCHTKicks)/float64(s.Nodes)
 	scht := 1.0

@@ -1,8 +1,15 @@
-// Command cgcli sends one RESP command to a cgserver instance and
-// prints the reply — a minimal redis-cli equivalent for the §V-F
-// deployment.
+// Command cgcli sends RESP commands to a cgserver instance and prints
+// the reply — a minimal redis-cli equivalent for the §V-F deployment.
 //
 //	cgcli -addr 127.0.0.1:6380 g.insert 1 2
+//
+// The bulkload subcommand streams a whitespace-separated edge-list file
+// ("u v" per line, "-" for stdin) through the batched mutation path:
+// edges are grouped into G.MINSERT commands of -batch pairs and
+// pipelined -window commands deep, so ingest pays one RESP round-trip
+// per thousands of edges instead of one per edge:
+//
+//	cgcli -addr 127.0.0.1:6380 -batch 512 -window 32 bulkload edges.txt
 package main
 
 import (
@@ -11,16 +18,21 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"cuckoograph/internal/resp"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "server address")
+	batch := flag.Int("batch", 512, "bulkload: edges per G.MINSERT command")
+	window := flag.Int("window", 32, "bulkload: pipelined commands in flight")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: cgcli [-addr host:port] <command> [args...]")
+		fmt.Fprintln(os.Stderr, "       cgcli [-addr host:port] [-batch N] [-window N] bulkload <file|->")
 		os.Exit(2)
 	}
 	conn, err := net.Dial("tcp", *addr)
@@ -29,6 +41,19 @@ func main() {
 		os.Exit(1)
 	}
 	defer conn.Close()
+
+	if flag.Arg(0) == "bulkload" {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "cgcli: bulkload expects one file argument")
+			os.Exit(2)
+		}
+		if err := bulkload(conn, flag.Arg(1), *batch, *window); err != nil {
+			fmt.Fprintln(os.Stderr, "cgcli: bulkload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	w := bufio.NewWriter(conn)
 	if err := resp.Write(w, resp.Command(flag.Args()...)); err != nil {
 		fmt.Fprintln(os.Stderr, "cgcli:", err)
@@ -41,6 +66,113 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(render(reply))
+}
+
+// bulkload streams the edge-list file through pipelined G.MINSERT
+// batches and prints an ingest summary.
+func bulkload(conn net.Conn, path string, batch, window int) error {
+	if batch < 1 {
+		batch = 1
+	}
+	if window < 1 {
+		window = 1
+	}
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var sent, added, inFlight int64
+	start := time.Now()
+
+	// drain reads one pending reply, accumulating the server's count of
+	// newly inserted edges.
+	drain := func() error {
+		reply, err := resp.Read(r)
+		if err != nil {
+			return err
+		}
+		if reply.Type == '-' {
+			return fmt.Errorf("server: %s", reply.Str)
+		}
+		added += reply.Int
+		inFlight--
+		return nil
+	}
+	args := make([]string, 0, 1+2*batch)
+	args = append(args, "g.minsert")
+	flush := func() error {
+		if len(args) == 1 {
+			return nil
+		}
+		if err := resp.Write(w, resp.Command(args...)); err != nil {
+			return err
+		}
+		sent += int64(len(args)-1) / 2
+		args = args[:1]
+		inFlight++
+		if inFlight < int64(window) {
+			return nil
+		}
+		// The window is full: push the backlog to the server and take
+		// one reply back before pipelining further.
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return drain()
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return fmt.Errorf("%s:%d: want \"u v\", got %q", path, line, text)
+		}
+		for _, f := range fields[:2] {
+			if _, err := strconv.ParseUint(f, 10, 64); err != nil {
+				return fmt.Errorf("%s:%d: bad node id %q", path, line, f)
+			}
+		}
+		args = append(args, fields[0], fields[1])
+		if len(args) == cap(args) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	for inFlight > 0 {
+		if err := drain(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(sent) / elapsed.Seconds() / 1e6
+	fmt.Printf("bulkload: %d edges sent, %d new, in %v (%.3f Mops)\n",
+		sent, added, elapsed.Round(time.Millisecond), rate)
+	return nil
 }
 
 func render(v resp.Value) string {

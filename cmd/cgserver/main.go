@@ -89,7 +89,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cgserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.query g.getneighbors wal_enable wal_replay checkpoint)\n", bound)
+	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.minsert g.mdel g.query g.getneighbors g.degree g.nodes wal_enable wal_replay checkpoint)\n", bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/dataset"
+	"cuckoograph/internal/graphstore"
+	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/wal"
+)
+
+// LoadStream feeds a generated stream into s through the batched
+// mutation path when the store has one, chunked so each ApplyBatch
+// amortizes lock acquisitions and cell lookups; stores without a batch
+// path fall back to per-edge inserts. It is the shared load phase of
+// the analytics and measurement harnesses.
+func LoadStream(s graphstore.Store, stream []dataset.Edge) {
+	bs, ok := s.(graphstore.BatchStore)
+	if !ok {
+		for _, e := range stream {
+			s.InsertEdge(e.U, e.V)
+		}
+		return
+	}
+	c := core.NewChunker(sharded.LoadBatchSize, func(b core.Batch) { bs.ApplyBatch(b) })
+	for _, e := range stream {
+		c.Insert(e.U, e.V)
+	}
+	c.Flush()
+}
+
+// BatchOpsResult is one row of the batched-ingest workload: the same
+// stream driven through ApplyBatch at one batch size — BatchSize 0
+// means the single-op InsertEdge path — with the WAL attached.
+type BatchOpsResult struct {
+	BatchSize int
+	Mops      float64
+	// WALBytes is the on-disk size of the log the run produced;
+	// BytesPerEdge normalises it by applied (distinct) edges, showing
+	// the framing overhead batching saves.
+	WALBytes     int64
+	BytesPerEdge float64
+	// Edges is the number of distinct edges the stream produced.
+	Edges uint64
+}
+
+// Label names the row's mutation path.
+func (r BatchOpsResult) Label() string {
+	if r.BatchSize <= 0 {
+		return "single-op"
+	}
+	return fmt.Sprintf("batch-%d", r.BatchSize)
+}
+
+// BatchOps prices the batched mutation pipeline: for the single-op path
+// and each batch size it ingests the stream into a fresh sharded graph
+// logging to a fresh WAL under dir, measuring throughput and the log
+// bytes per applied edge. Every run sees the identical stream, so rows
+// differ only in how mutations are batched.
+func BatchOps(stream []dataset.Edge, sizes []int, dir string, opts wal.Options) ([]BatchOpsResult, error) {
+	out := make([]BatchOpsResult, 0, len(sizes)+1)
+	for _, size := range append([]int{0}, sizes...) {
+		res, err := batchOpsRun(stream, size, filepath.Join(dir, fmt.Sprintf("b%d", size)), opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func batchOpsRun(stream []dataset.Edge, size int, dir string, opts wal.Options) (BatchOpsResult, error) {
+	res := BatchOpsResult{BatchSize: size}
+	w, err := wal.Open(dir, opts)
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	g := sharded.New(sharded.Config{Shards: 16, WAL: w})
+
+	start := time.Now()
+	if size <= 0 {
+		for _, e := range stream {
+			g.InsertEdge(e.U, e.V)
+		}
+	} else {
+		// Size 1 exercises ApplyBatch's framing cost without any
+		// amortization — the honesty baseline for the sweep.
+		c := core.NewChunker(size, func(b core.Batch) { g.ApplyBatch(b) })
+		for _, e := range stream {
+			c.Insert(e.U, e.V)
+		}
+		c.Flush()
+	}
+	res.Mops = Mops(len(stream), time.Since(start))
+	res.Edges = g.NumEdges()
+
+	if err := g.LogErr(); err != nil {
+		w.Close()
+		return res, fmt.Errorf("bench: wal append: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return res, fmt.Errorf("bench: wal close: %w", err)
+	}
+	res.WALBytes, err = walDirBytes(dir)
+	if err != nil {
+		return res, err
+	}
+	if res.Edges > 0 {
+		res.BytesPerEdge = float64(res.WALBytes) / float64(res.Edges)
+	}
+
+	// The log must replay to the same graph regardless of batching.
+	rec, _, err := wal.Recover(dir, sharded.Config{})
+	if err != nil {
+		return res, fmt.Errorf("bench: recover: %w", err)
+	}
+	if rec.NumEdges() != res.Edges {
+		return res, fmt.Errorf("bench: recovered %d edges, ingested graph has %d", rec.NumEdges(), res.Edges)
+	}
+	return res, nil
+}
+
+// walDirBytes sums the segment files of a WAL directory.
+func walDirBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".seg" {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"testing"
+
+	"cuckoograph/internal/dataset"
+	"cuckoograph/internal/graphstore"
+	"cuckoograph/internal/stores"
+	"cuckoograph/internal/wal"
+)
+
+func caidaStream(t testing.TB) []dataset.Edge {
+	t.Helper()
+	spec, ok := dataset.ByName("CAIDA")
+	if !ok {
+		t.Fatal("no CAIDA spec")
+	}
+	return dataset.Generate(spec, 4096, 42)
+}
+
+// TestBatchOpsWorkload runs the workload end to end at a tiny scale and
+// checks every row ingested and recovered the same edge set.
+func TestBatchOpsWorkload(t *testing.T) {
+	st := caidaStream(t)
+	results, err := BatchOps(st, []int{1, 64, 1024}, t.TempDir(), wal.Options{Sync: wal.SyncAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d rows, want 4 (single + 3 batch sizes)", len(results))
+	}
+	if results[0].Label() != "single-op" || results[3].Label() != "batch-1024" {
+		t.Fatalf("row labels %q..%q", results[0].Label(), results[3].Label())
+	}
+	for _, r := range results {
+		if r.Edges != results[0].Edges {
+			t.Fatalf("%s ingested %d edges, single-op ingested %d — paths diverge",
+				r.Label(), r.Edges, results[0].Edges)
+		}
+		if r.Mops <= 0 || r.WALBytes <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", r.Label(), r)
+		}
+	}
+	// Batch framing must not cost more log bytes per edge than
+	// single-op framing.
+	if last := results[len(results)-1]; last.BytesPerEdge > results[0].BytesPerEdge {
+		t.Fatalf("batch-1024 writes %.2f B/edge, single-op %.2f — batching made the log fatter",
+			last.BytesPerEdge, results[0].BytesPerEdge)
+	}
+}
+
+// TestLoadStreamEquivalence: the batched loader must build the same
+// graph as the per-edge fallback, for stores with and without a native
+// batch path.
+func TestLoadStreamEquivalence(t *testing.T) {
+	st := caidaStream(t)
+	adjlist := func() graphstore.Factory {
+		for _, f := range stores.All() {
+			if f.Name == "AdjList" {
+				return f
+			}
+		}
+		t.Fatal("AdjList store missing")
+		return graphstore.Factory{}
+	}()
+	for _, f := range []graphstore.Factory{
+		{Name: "CuckooGraph", New: stores.NewCuckooGraph},                // BatchStore
+		{Name: "CuckooGraph-Sharded", New: stores.NewShardedCuckooGraph}, // BatchStore
+		adjlist, // no batch path: exercises the fallback
+	} {
+		batched := f.New()
+		LoadStream(batched, st)
+		perEdge := f.New()
+		for _, e := range st {
+			perEdge.InsertEdge(e.U, e.V)
+		}
+		if batched.NumEdges() != perEdge.NumEdges() {
+			t.Fatalf("%s: LoadStream built %d edges, per-edge loop %d",
+				f.Name, batched.NumEdges(), perEdge.NumEdges())
+		}
+		for _, e := range st[:min(len(st), 200)] {
+			if !batched.HasEdge(e.U, e.V) {
+				t.Fatalf("%s: LoadStream lost edge (%d,%d)", f.Name, e.U, e.V)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchOps keeps the batched-ingest workload compiling and
+// running in the CI bench-smoke lane.
+func BenchmarkBatchOps(b *testing.B) {
+	st := caidaStream(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := BatchOps(st, []int{64, 1024}, b.TempDir(), wal.Options{Sync: wal.SyncAsync}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

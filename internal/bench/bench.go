@@ -153,9 +153,7 @@ func AllTasks() []AnalyticsTask {
 // subgraphs). subNodes bounds the subgraph size for the heavy tasks.
 func RunAnalytics(f graphstore.Factory, stream []dataset.Edge, task AnalyticsTask, subNodes int) time.Duration {
 	s := f.New()
-	for _, e := range stream {
-		s.InsertEdge(e.U, e.V)
-	}
+	LoadStream(s, stream)
 	switch task {
 	case TaskBFS:
 		roots := analytics.TopDegreeNodes(s, 5)

@@ -88,25 +88,32 @@ func (e *engine[W]) findPart2(u uint64) *part2[W] {
 // needs a single probe for its duplicate check.
 func (e *engine[W]) locate(u, v uint64) (*part2[W], *W) {
 	p := e.findPart2(u)
+	return p, e.lookupIn(p, u, v)
+}
+
+// lookupIn is the Step-2 half of locate: given u's cell (possibly nil),
+// it resolves v's payload in the cell or the S-DL. Splitting it out
+// lets applyBatch reuse a cached cell pointer across a batch.
+func (e *engine[W]) lookupIn(p *part2[W], u, v uint64) *W {
 	if p != nil {
 		if p.chain != nil {
 			if w := p.chain.Ref(v); w != nil {
-				return p, w
+				return w
 			}
 		} else {
 			for i := range p.inline {
 				if p.inline[i].v == v {
-					return p, &p.inline[i].w
+					return &p.inline[i].w
 				}
 			}
 		}
 	}
 	for i := range e.sdl {
 		if e.sdl[i].u == u && e.sdl[i].s.v == v {
-			return p, &e.sdl[i].s.w
+			return &e.sdl[i].s.w
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // refSlot returns a mutable pointer to ⟨u,v⟩'s payload, or nil.
@@ -117,20 +124,9 @@ func (e *engine[W]) refSlot(u, v uint64) *W {
 
 func (e *engine[W]) hasEdge(u, v uint64) bool { return e.refSlot(u, v) != nil }
 
-// insertEdge adds ⟨u,v,w⟩ unless present, reporting whether it is new.
-// It always succeeds on a new edge: failures cascade into the denylists,
-// and full denylists force transformations.
-func (e *engine[W]) insertEdge(u, v uint64, w W) bool {
-	p, existing := e.locate(u, v)
-	if existing != nil {
-		return false
-	}
-	e.insertAt(p, u, v, w)
-	return true
-}
-
 // insertAt stores a verified-absent edge, reusing the cell pointer from
-// a preceding locate.
+// a preceding locate. It always succeeds: failures cascade into the
+// denylists, and full denylists force transformations.
 func (e *engine[W]) insertAt(p *part2[W], u, v uint64, w W) {
 	e.edges++
 	if p != nil {
@@ -142,13 +138,6 @@ func (e *engine[W]) insertAt(p *part2[W], u, v uint64, w W) {
 	inline := make([]slot[W], 1, e.inlineCap)
 	inline[0] = slot[W]{v: v, w: w}
 	e.insertCell(u, part2[W]{inline: inline})
-}
-
-// insertNew stores the edge ⟨u,v,w⟩; the caller has verified it is
-// absent (insertion Step 1).
-func (e *engine[W]) insertNew(u, v uint64, w W) {
-	p := e.findPart2(u)
-	e.insertAt(p, u, v, w)
 }
 
 // insertCell places a whole cell (u + Part 2) into the L-CHT, spilling
@@ -276,9 +265,17 @@ func (e *engine[W]) drainSDLInto(u uint64, c *cuckoo.Chain[W]) {
 }
 
 // deleteEdge removes ⟨u,v⟩ wherever it lives, returning its payload.
-// Reverse transformations may contract the chain or collapse it back to
-// inline slots; an empty cell removes u entirely.
 func (e *engine[W]) deleteEdge(u, v uint64) (W, bool) {
+	w, ok, _ := e.deleteAt(u, v, e.findPart2(u))
+	return w, ok
+}
+
+// deleteAt removes ⟨u,v⟩ given u's already-located cell (nil when u has
+// none). Reverse transformations may contract the chain or collapse it
+// back to inline slots; an empty cell removes u entirely. The third
+// result reports whether the L-CHT (or L-DL) was restructured — which
+// invalidates any cached cell pointers, including p itself.
+func (e *engine[W]) deleteAt(u, v uint64, p *part2[W]) (W, bool, bool) {
 	var zero W
 	// The pair may be parked in the S-DL.
 	for i := range e.sdl {
@@ -286,25 +283,23 @@ func (e *engine[W]) deleteEdge(u, v uint64) (W, bool) {
 			w := e.sdl[i].s.w
 			e.sdl = append(e.sdl[:i], e.sdl[i+1:]...)
 			e.edges--
-			return w, true
+			return w, true, false
 		}
 	}
-	p := e.findPart2(u)
 	if p == nil {
-		return zero, false
+		return zero, false, false
 	}
 	if p.chain != nil {
 		w, ok := p.chain.Lookup(v)
 		if !ok {
-			return zero, false
+			return zero, false, false
 		}
 		leftovers, _ := p.chain.Delete(v)
 		for _, lo := range leftovers {
 			e.sdl = append(e.sdl, sdlEntry[W]{u: u, s: slot[W]{v: lo.Key, w: lo.Val}})
 		}
 		e.edges--
-		e.maybeCollapse(u, p)
-		return w, true
+		return w, true, e.maybeCollapse(u, p)
 	}
 	for i := range p.inline {
 		if p.inline[i].v == v {
@@ -315,19 +310,21 @@ func (e *engine[W]) deleteEdge(u, v uint64) (W, bool) {
 			e.fillInlineFromSDL(u, p)
 			if len(p.inline) == 0 {
 				e.removeNode(u)
+				return w, true, true
 			}
-			return w, true
+			return w, true, false
 		}
 	}
-	return zero, false
+	return zero, false, false
 }
 
 // maybeCollapse applies the final step of reverse transformation: when a
 // chain's population fits back into the 2R inline small slots, the chain
-// is dismantled and the cell returns to inline form.
-func (e *engine[W]) maybeCollapse(u uint64, p *part2[W]) {
+// is dismantled and the cell returns to inline form. It reports whether
+// the (now empty) cell was removed from the L-CHT.
+func (e *engine[W]) maybeCollapse(u uint64, p *part2[W]) bool {
 	if p.chain == nil || p.chain.Size() > e.inlineCap {
-		return
+		return false
 	}
 	e.schtKicksRetired += p.chain.Kicks()
 	e.schtPlacementsRetired += p.chain.Placements()
@@ -340,7 +337,9 @@ func (e *engine[W]) maybeCollapse(u uint64, p *part2[W]) {
 	e.fillInlineFromSDL(u, p)
 	if len(p.inline) == 0 {
 		e.removeNode(u)
+		return true
 	}
+	return false
 }
 
 // fillInlineFromSDL pulls parked ⟨u,·⟩ pairs back into freed inline

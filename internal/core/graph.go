@@ -14,9 +14,11 @@ func NewGraph(cfg Config) *Graph {
 }
 
 // InsertEdge adds ⟨u,v⟩, reporting whether it was newly inserted
-// (insertion Step 1 of §III-A3 first queries for the edge).
+// (insertion Step 1 of §III-A3 first queries for the edge). It is a
+// size-1 batch: ApplyBatch is the only mutation path.
 func (g *Graph) InsertEdge(u, v uint64) bool {
-	return g.e.insertEdge(u, v, struct{}{})
+	b := [1]Op{InsertOp(u, v)}
+	return g.ApplyBatch(b[:]).Inserted == 1
 }
 
 // HasEdge reports whether ⟨u,v⟩ is stored.
@@ -25,8 +27,22 @@ func (g *Graph) HasEdge(u, v uint64) bool { return g.e.hasEdge(u, v) }
 // DeleteEdge removes ⟨u,v⟩, reporting whether it existed. Deletions may
 // trigger reverse transformations (§III-A1).
 func (g *Graph) DeleteEdge(u, v uint64) bool {
-	_, ok := g.e.deleteEdge(u, v)
-	return ok
+	b := [1]Op{DeleteOp(u, v)}
+	return g.ApplyBatch(b[:]).Deleted == 1
+}
+
+// ApplyBatch applies the ops in order with basic-variant semantics:
+// duplicate inserts and deletes of absent edges are no-ops. The result
+// is identical — down to the physical structure and every Stats
+// counter — to applying the same ops one by one; the batch form
+// amortizes the Part-1 cell lookup across ops sharing a source node.
+func (g *Graph) ApplyBatch(b Batch) BatchResult { return g.ApplyBatchFunc(b, nil) }
+
+// ApplyBatchFunc is ApplyBatch with an observer: onApplied (if non-nil)
+// is called for every op that changed the graph, in application order.
+// Durability layers use it to log exactly the applied sub-batch.
+func (g *Graph) ApplyBatchFunc(b Batch, onApplied func(Op)) BatchResult {
+	return g.e.applyBatch(b, struct{}{}, nil, nil, onApplied)
 }
 
 // ForEachSuccessor calls fn for every successor of u until fn returns
@@ -66,17 +82,36 @@ func NewWeighted(cfg Config) *Weighted {
 }
 
 // InsertEdge adds one occurrence of ⟨u,v⟩ and reports whether the edge
-// is new (weight transitioned 0→1).
+// is new (weight transitioned 0→1). Like every weighted mutation it is
+// a size-1 batch over the shared batch path.
 func (w *Weighted) InsertEdge(u, v uint64) bool { return w.Add(u, v, 1) }
 
 // Add adds delta occurrences of ⟨u,v⟩, reporting whether the edge is new.
 func (w *Weighted) Add(u, v, delta uint64) bool {
-	cell, existing := w.e.locate(u, v)
-	if existing != nil {
-		*existing += delta
+	b := [1]Op{InsertOp(u, v)}
+	res := w.e.applyBatch(b[:], delta,
+		func(p *uint64) bool { *p += delta; return true }, nil, nil)
+	return res.Inserted == 1
+}
+
+// ApplyBatch applies the ops in order with weighted semantics: an
+// insert on an existing edge increments its weight, a delete decrements
+// and removes the edge at zero. Inserted counts 0→1 transitions,
+// Deleted counts edges whose weight reached zero, Updated counts
+// in-place weight changes.
+func (w *Weighted) ApplyBatch(b Batch) BatchResult {
+	return w.e.applyBatch(b, 1,
+		func(p *uint64) bool { *p++; return true },
+		weightedDelete, nil)
+}
+
+// weightedDelete is the weighted delete hook: decrement in place until
+// the last occurrence, then ask for physical removal.
+func weightedDelete(p *uint64) bool {
+	if *p > 1 {
+		*p--
 		return false
 	}
-	w.e.insertAt(cell, u, v, delta)
 	return true
 }
 
@@ -94,16 +129,8 @@ func (w *Weighted) Weight(u, v uint64) (uint64, bool) {
 // DeleteEdge removes one occurrence of ⟨u,v⟩; the edge disappears when
 // its weight reaches zero. It reports whether the edge existed.
 func (w *Weighted) DeleteEdge(u, v uint64) bool {
-	p := w.e.refSlot(u, v)
-	if p == nil {
-		return false
-	}
-	if *p > 1 {
-		*p--
-		return true
-	}
-	_, ok := w.e.deleteEdge(u, v)
-	return ok
+	b := [1]Op{DeleteOp(u, v)}
+	return w.e.applyBatch(b[:], 0, nil, weightedDelete, nil).Applied() == 1
 }
 
 // DeleteAll removes the edge regardless of weight.

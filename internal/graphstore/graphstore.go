@@ -4,6 +4,8 @@
 // Store, so the analytics and benchmark harnesses treat them uniformly.
 package graphstore
 
+import "cuckoograph/internal/core"
+
 // NodeID identifies a graph node. The paper uses 8-byte identifiers.
 type NodeID = uint64
 
@@ -42,6 +44,13 @@ type WeightedStore interface {
 
 	// Weight returns the weight of ⟨u,v⟩ and whether it exists.
 	Weight(u, v NodeID) (uint64, bool)
+}
+
+// BatchStore is satisfied by stores with a native batched mutation
+// path (the CuckooGraph engines). Harnesses that bulk-load a stream
+// should type-assert for it and fall back to per-edge InsertEdge.
+type BatchStore interface {
+	ApplyBatch(b core.Batch) core.BatchResult
 }
 
 // Successors collects u's successors into a fresh slice.

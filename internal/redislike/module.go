@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"cuckoograph/internal/core"
 	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/wal"
@@ -32,11 +33,14 @@ type GraphModule struct {
 	wal   *wal.WAL
 	// recovered remembers the last RecoverWAL so EnableWAL on the same
 	// directory can skip its initial checkpoint: the directory already
-	// describes that exact graph.
+	// describes that exact graph. muts is the graph's monotonic applied-
+	// mutation counter at recovery time — comparing it (rather than
+	// edge/node counts, which an insert/delete pair can leave unchanged)
+	// is what proves nothing was written in between.
 	recovered struct {
-		dir          string
-		g            *sharded.Graph
-		edges, nodes uint64
+		dir  string
+		g    *sharded.Graph
+		muts uint64
 	}
 }
 
@@ -48,8 +52,12 @@ func NewGraphModule() (*GraphModule, *Module) {
 		Commands: map[string]HandlerFunc{
 			"g.insert":       gm.insert,
 			"g.del":          gm.del,
+			"g.minsert":      gm.minsert,
+			"g.mdel":         gm.mdel,
 			"g.query":        gm.query,
 			"g.getneighbors": gm.getNeighbors,
+			"g.degree":       gm.degree,
+			"g.nodes":        gm.nodes,
 			"wal_enable":     gm.walEnable,
 			"wal_replay":     gm.walReplay,
 			"checkpoint":     gm.checkpoint,
@@ -132,6 +140,66 @@ func (gm *GraphModule) del(args []string) resp.Value {
 	return resp.Integer(0)
 }
 
+// parseBatch decodes ⟨u,v⟩ pairs from a variadic command's arguments
+// into a mutation batch of the given kind.
+func parseBatch(kind core.OpKind, args []string) (core.Batch, error) {
+	if len(args) == 0 || len(args)%2 != 0 {
+		return nil, fmt.Errorf("expected <u> <v> [<u> <v> ...]")
+	}
+	b := make(core.Batch, 0, len(args)/2)
+	for i := 0; i < len(args); i += 2 {
+		u, err := strconv.ParseUint(args[i], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", args[i])
+		}
+		v, err := strconv.ParseUint(args[i+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", args[i+1])
+		}
+		b = append(b, core.Op{Kind: kind, U: u, V: v})
+	}
+	return b, nil
+}
+
+// minsert is the batched insert: G.MINSERT u1 v1 [u2 v2 ...] applies
+// every pair through the shard-parallel batch path and replies with the
+// number of newly inserted edges.
+func (gm *GraphModule) minsert(args []string) resp.Value {
+	b, err := parseBatch(core.OpInsert, args)
+	if err != nil {
+		return resp.Error("ERR g.minsert: " + err.Error())
+	}
+	var res core.BatchResult
+	var logErr error
+	gm.withGraph(func(g *sharded.Graph) {
+		res = g.ApplyBatch(b)
+		logErr = g.LogErr()
+	})
+	if logErr != nil {
+		return resp.Error("ERR g.minsert: wal: " + logErr.Error())
+	}
+	return resp.Integer(int64(res.Inserted))
+}
+
+// mdel is the batched delete: G.MDEL u1 v1 [u2 v2 ...] replies with the
+// number of edges actually removed.
+func (gm *GraphModule) mdel(args []string) resp.Value {
+	b, err := parseBatch(core.OpDelete, args)
+	if err != nil {
+		return resp.Error("ERR g.mdel: " + err.Error())
+	}
+	var res core.BatchResult
+	var logErr error
+	gm.withGraph(func(g *sharded.Graph) {
+		res = g.ApplyBatch(b)
+		logErr = g.LogErr()
+	})
+	if logErr != nil {
+		return resp.Error("ERR g.mdel: wal: " + logErr.Error())
+	}
+	return resp.Integer(int64(res.Deleted))
+}
+
 func (gm *GraphModule) query(args []string) resp.Value {
 	u, v, err := parseEdge(args)
 	if err != nil {
@@ -157,6 +225,36 @@ func (gm *GraphModule) getNeighbors(args []string) resp.Value {
 	gm.withGraph(func(g *sharded.Graph) {
 		g.ForEachSuccessor(u, func(v uint64) bool {
 			out = append(out, resp.Bulk(strconv.FormatUint(v, 10)))
+			return true
+		})
+	})
+	return resp.Array(out...)
+}
+
+// degree replies with u's out-degree — the engine has always known it,
+// the wire protocol just never asked.
+func (gm *GraphModule) degree(args []string) resp.Value {
+	if len(args) != 1 {
+		return resp.Error("ERR g.degree: expected <u>")
+	}
+	u, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return resp.Error("ERR g.degree: bad node id " + strconv.Quote(args[0]))
+	}
+	n := 0
+	gm.withGraph(func(g *sharded.Graph) { n = g.Degree(u) })
+	return resp.Integer(int64(n))
+}
+
+// nodes replies with every source node (nodes with ≥1 out-edge).
+func (gm *GraphModule) nodes(args []string) resp.Value {
+	if len(args) != 0 {
+		return resp.Error("ERR g.nodes: expected no arguments")
+	}
+	var out []resp.Value
+	gm.withGraph(func(g *sharded.Graph) {
+		g.ForEachNode(func(u uint64) bool {
+			out = append(out, resp.Bulk(strconv.FormatUint(u, 10)))
 			return true
 		})
 	})
@@ -217,8 +315,7 @@ func (gm *GraphModule) EnableWAL(dir string, opts wal.Options) error {
 	g := gm.Graph()
 	g.SetWAL(w)
 	r := gm.recovered
-	coveredByDir := r.g == g && r.dir == dir &&
-		g.NumEdges() == r.edges && g.NumNodes() == r.nodes
+	coveredByDir := r.g == g && r.dir == dir && g.Mutations() == r.muts
 	if g.NumEdges() > 0 && !coveredByDir {
 		if _, err := wal.Checkpoint(g, w); err != nil {
 			g.SetWAL(nil)
@@ -247,7 +344,7 @@ func (gm *GraphModule) RecoverWAL(dir string) (wal.RecoverStats, error) {
 	gm.g = g
 	gm.swapMu.Unlock()
 	gm.recovered.dir, gm.recovered.g = dir, g
-	gm.recovered.edges, gm.recovered.nodes = g.NumEdges(), g.NumNodes()
+	gm.recovered.muts = g.Mutations()
 	return stats, nil
 }
 

@@ -3,7 +3,11 @@
 // module API through which additional data types register commands and
 // persistence hooks — the substrate for the paper's Redis integration
 // (§V-F), where CuckooGraph is loaded as a module providing G.INSERT,
-// G.DEL, G.QUERY and G.GETNEIGHBORS plus RDB-style save/load.
+// G.DEL, the batched G.MINSERT/G.MDEL, G.QUERY, G.GETNEIGHBORS,
+// G.DEGREE and G.NODES plus RDB-style save/load. The per-connection
+// read loop pipelines: replies are flushed when the input buffer
+// drains, so a burst of commands pays one write(2) for all its
+// replies.
 package redislike
 
 import (
@@ -189,8 +193,14 @@ func (s *Server) serve(conn net.Conn) {
 		if err := resp.Write(w, reply); err != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+		// Pipelining: while the client has already sent more commands,
+		// keep replies buffered and dispatch straight into the backlog —
+		// one syscall then answers the whole burst. Flush only when the
+		// input drains and the next Read would block.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }

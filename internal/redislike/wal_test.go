@@ -196,3 +196,62 @@ func TestEnableAfterRecoverSkipsCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCountNeutralMutationsBetweenRecoverAndEnable pins the durability
+// hand-off: mutations applied between wal_replay and wal_enable that
+// happen to leave NumEdges/NumNodes unchanged (an insert/delete pair)
+// must still force the initial checkpoint — otherwise they are neither
+// in the log nor in a snapshot and a crash silently undoes them.
+func TestCountNeutralMutationsBetweenRecoverAndEnable(t *testing.T) {
+	dir := t.TempDir()
+	s := NewServer()
+	gm, mod := NewGraphModule()
+	if err := s.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	if got := dispatch(s, "wal_enable", dir, "nosync"); got.Str != "OK" {
+		t.Fatalf("wal_enable = %+v", got)
+	}
+	dispatch(s, "g.insert", "1", "2")
+	dispatch(s, "g.insert", "1", "3")
+	dispatch(s, "g.insert", "2", "5")
+	if err := gm.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	gm2, mod2 := NewGraphModule()
+	s2 := NewServer()
+	if err := s2.LoadModule(mod2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gm2.RecoverWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Count-neutral window: one insert (existing source node), one
+	// delete (node keeps another edge). Edges 3→3, nodes 2→2.
+	g := gm2.Graph()
+	g.InsertEdge(1, 4)
+	g.DeleteEdge(1, 2)
+	if err := gm2.EnableWAL(dir, wal.Options{Sync: wal.SyncNone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gm2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	gm3, mod3 := NewGraphModule()
+	s3 := NewServer()
+	if err := s3.LoadModule(mod3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gm3.RecoverWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	rec := gm3.Graph()
+	if !rec.HasEdge(1, 4) {
+		t.Fatal("edge (1,4) inserted between recover and enable was lost")
+	}
+	if rec.HasEdge(1, 2) {
+		t.Fatal("edge (1,2) deleted between recover and enable resurrected")
+	}
+}

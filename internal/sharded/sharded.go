@@ -25,18 +25,20 @@ import (
 )
 
 // Logger receives every successful mutation for durability. Each call
-// happens while the owning shard's write lock is held, immediately
-// after the in-memory mutation, so for any one shard (and hence for any
-// one source node) the log order equals the application order — which
-// is what makes replay deterministic. The mutation is only acknowledged
-// to the caller once the Logger returns, so a group-committing
-// implementation gives synchronous durability.
+// carries the applied sub-batch of one shard partition — a single op
+// for the single-edge methods — and happens while the owning shard's
+// write lock is held, immediately after the in-memory mutations, so for
+// any one shard (and hence for any one source node) the log order
+// equals the application order — which is what makes replay
+// deterministic. The mutations are only acknowledged to the caller once
+// the Logger returns, so a group-committing implementation gives
+// synchronous durability, and a batch-framing implementation (the WAL)
+// persists the whole partition as one record in one commit slot.
 //
 // A Logger is only invoked for mutations that changed the graph:
 // duplicate inserts and deletes of absent edges are not logged.
 type Logger interface {
-	LogInsert(u, v uint64) error
-	LogDelete(u, v uint64) error
+	LogBatch(b core.Batch) error
 }
 
 // Config tunes a sharded graph.
@@ -68,6 +70,11 @@ type Graph struct {
 
 	edges atomic.Uint64
 	nodes atomic.Uint64
+	// muts counts applied mutations (not ops attempted) over the
+	// graph's lifetime. Unlike edges/nodes it never goes down, so an
+	// insert/delete pair that nets out to the same counts still moves
+	// it — the property durability hand-off checks rely on.
+	muts atomic.Uint64
 
 	// wal is the attached durability hook; nil disables logging. It is
 	// swapped atomically so SetWAL is safe against in-flight mutations.
@@ -125,20 +132,14 @@ func (g *Graph) SetWAL(l Logger) {
 	g.logErrMu.Unlock()
 }
 
-// logMutation feeds one applied mutation to the attached Logger, if
-// any. It runs under the owning shard's write lock.
-func (g *Graph) logMutation(del bool, u, v uint64) {
+// logBatch feeds the applied sub-batch of one shard partition to the
+// attached Logger, if any. It runs under the owning shard's write lock.
+func (g *Graph) logBatch(b core.Batch) {
 	p := g.wal.Load()
-	if p == nil {
+	if p == nil || len(b) == 0 {
 		return
 	}
-	var err error
-	if del {
-		err = (*p).LogDelete(u, v)
-	} else {
-		err = (*p).LogInsert(u, v)
-	}
-	if err != nil {
+	if err := (*p).LogBatch(b); err != nil {
 		g.logErrMu.Lock()
 		if g.logErr == nil {
 			g.logErr = err
@@ -163,43 +164,182 @@ func (g *Graph) LogErr() error {
 // vice versa.
 func Load(r io.Reader, cfg Config) (*Graph, error) {
 	g := New(cfg)
+	// Feed the snapshot through the batch path: loading is the textbook
+	// burst, and chunking amortizes lock traffic and cell lookups.
+	c := core.NewChunker(LoadBatchSize, func(b core.Batch) { g.ApplyBatch(b) })
 	if err := core.ReadBasicSnapshot(r, func(u, v uint64) error {
-		g.InsertEdge(u, v)
+		c.Insert(u, v)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	c.Flush()
 	return g, nil
 }
+
+// LoadBatchSize chunks bulk ingestion paths (snapshot load, WAL
+// replay): big enough to amortize per-partition overhead, small enough
+// to keep the working set cache-resident.
+const LoadBatchSize = 4096
 
 // Shards returns P, the number of partitions.
 func (g *Graph) Shards() int { return len(g.shards) }
 
-// shardOf picks u's partition with a splitmix64 finaliser so that
+// shardIndex picks u's partition with a splitmix64 finaliser so that
 // sequential node ids spread evenly across shards.
-func (g *Graph) shardOf(u uint64) *shard {
+func (g *Graph) shardIndex(u uint64) int {
 	h := u
 	h ^= h >> 30
 	h *= 0xBF58476D1CE4E5B9
 	h ^= h >> 27
 	h *= 0x94D049BB133111EB
 	h ^= h >> 31
-	return &g.shards[h&g.mask]
+	return int(h & g.mask)
 }
 
-// InsertEdge adds ⟨u,v⟩, reporting whether it is new.
-func (g *Graph) InsertEdge(u, v uint64) bool {
-	sh := g.shardOf(u)
+func (g *Graph) shardOf(u uint64) *shard { return &g.shards[g.shardIndex(u)] }
+
+// applyToShard is the one mutation path of the sharded engine: it
+// applies a batch whose ops all hash to sh under a single write-lock
+// acquisition, logs the applied sub-batch as one Logger call, and
+// settles the aggregate counters once for the whole partition.
+func (g *Graph) applyToShard(sh *shard, part core.Batch) core.BatchResult {
 	sh.mu.Lock()
 	n0 := sh.g.NumNodes()
-	added := sh.g.InsertEdge(u, v)
-	if added {
-		g.edges.Add(1)
-		g.logMutation(false, u, v)
+	var res core.BatchResult
+	switch {
+	case g.wal.Load() == nil:
+		res = sh.g.ApplyBatchFunc(part, nil)
+	case len(part) == 1:
+		// A size-1 partition that applied IS its applied sub-batch; skip
+		// the collection allocation on the hot single-edge path.
+		res = sh.g.ApplyBatchFunc(part, nil)
+		if res.Inserted+res.Deleted == 1 {
+			g.logBatch(part)
+		}
+	default:
+		// Collect lazily: partitions full of duplicate inserts apply
+		// nothing and should not pay an allocation to learn that.
+		var applied core.Batch
+		res = sh.g.ApplyBatchFunc(part, func(op core.Op) {
+			if applied == nil {
+				applied = make(core.Batch, 0, len(part))
+			}
+			applied = append(applied, op)
+		})
+		g.logBatch(applied)
 	}
+	// Both deltas may be negative; unsigned wraparound plus the modular
+	// atomic Add nets out correctly.
+	g.edges.Add(res.Inserted - res.Deleted)
 	g.nodes.Add(sh.g.NumNodes() - n0)
+	if applied := res.Applied(); applied > 0 {
+		g.muts.Add(applied)
+	}
 	sh.mu.Unlock()
-	return added
+	return res
+}
+
+// Mutations returns the number of applied mutations over the graph's
+// lifetime. It is monotonic: any write that changed the graph moves it,
+// even when NumEdges/NumNodes end up back where they were.
+func (g *Graph) Mutations() uint64 { return g.muts.Load() }
+
+// ApplyBatch applies the ops of b in order, partitioned by shard: each
+// shard's sub-batch runs under one lock acquisition (in parallel across
+// shards when the batch spans several) and is logged to the WAL as one
+// record. Ops for the same source node always share a shard, so their
+// relative order — the order that determines the outcome of interleaved
+// inserts and deletes — is preserved; the result is logically identical
+// to applying the ops one by one.
+func (g *Graph) ApplyBatch(b core.Batch) core.BatchResult {
+	if len(b) == 0 {
+		return core.BatchResult{}
+	}
+	// Single-shard fast path: size-1 batches (the single-edge methods)
+	// and node-local bursts skip the partition allocation entirely.
+	first := g.shardIndex(b[0].U)
+	single := true
+	for i := 1; i < len(b); i++ {
+		if g.shardIndex(b[i].U) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		return g.applyToShard(&g.shards[first], b)
+	}
+	// Two-pass partition: count, carve one backing array into per-shard
+	// windows, fill. Three allocations total however many shards the
+	// batch touches — per-shard append-with-growth would pay an
+	// allocation chain per shard and dominate medium batches.
+	counts := make([]int, len(g.shards))
+	for _, op := range b {
+		counts[g.shardIndex(op.U)]++
+	}
+	backing := make(core.Batch, 0, len(b))
+	parts := make([]core.Batch, len(g.shards))
+	active := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		active++
+		parts[i] = backing[len(backing) : len(backing) : len(backing)+c]
+		backing = backing[:len(backing)+c]
+	}
+	for _, op := range b {
+		i := g.shardIndex(op.U)
+		parts[i] = append(parts[i], op)
+	}
+	var total core.BatchResult
+	// Fan out across shards only when the parallelism can pay for the
+	// goroutine churn: each partition must carry real work and there
+	// must be more than one processor to run them on. Otherwise apply
+	// partitions sequentially — still one lock acquisition and one
+	// counter settlement per shard.
+	if runtime.GOMAXPROCS(0) == 1 || len(b) < active*minParallelPartition {
+		for i, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			r := g.applyToShard(&g.shards[i], part)
+			total.Inserted += r.Inserted
+			total.Deleted += r.Deleted
+			total.Updated += r.Updated
+		}
+		return total
+	}
+	results := make([]core.BatchResult, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part core.Batch) {
+			defer wg.Done()
+			results[i] = g.applyToShard(&g.shards[i], part)
+		}(i, part)
+	}
+	wg.Wait()
+	for _, r := range results {
+		total.Inserted += r.Inserted
+		total.Deleted += r.Deleted
+		total.Updated += r.Updated
+	}
+	return total
+}
+
+// minParallelPartition is the mean ops per touched shard below which
+// ApplyBatch applies partitions inline rather than spawning goroutines.
+const minParallelPartition = 128
+
+// InsertEdge adds ⟨u,v⟩, reporting whether it is new. It is a size-1
+// batch over the shared mutation path.
+func (g *Graph) InsertEdge(u, v uint64) bool {
+	b := [1]core.Op{core.InsertOp(u, v)}
+	return g.applyToShard(g.shardOf(u), b[:]).Inserted == 1
 }
 
 // HasEdge reports whether ⟨u,v⟩ is stored.
@@ -211,19 +351,11 @@ func (g *Graph) HasEdge(u, v uint64) bool {
 	return ok
 }
 
-// DeleteEdge removes ⟨u,v⟩, reporting whether it existed.
+// DeleteEdge removes ⟨u,v⟩, reporting whether it existed. It is a
+// size-1 batch over the shared mutation path.
 func (g *Graph) DeleteEdge(u, v uint64) bool {
-	sh := g.shardOf(u)
-	sh.mu.Lock()
-	n0 := sh.g.NumNodes()
-	deleted := sh.g.DeleteEdge(u, v)
-	if deleted {
-		g.edges.Add(^uint64(0))
-		g.logMutation(true, u, v)
-	}
-	g.nodes.Add(sh.g.NumNodes() - n0)
-	sh.mu.Unlock()
-	return deleted
+	b := [1]core.Op{core.DeleteOp(u, v)}
+	return g.applyToShard(g.shardOf(u), b[:]).Deleted == 1
 }
 
 // ForEachSuccessor calls fn for each successor of u until fn returns

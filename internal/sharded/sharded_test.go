@@ -295,17 +295,16 @@ type walRecorder struct {
 	fail error
 }
 
-func (r *walRecorder) LogInsert(u, v uint64) error {
+func (r *walRecorder) LogBatch(b core.Batch) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.ops = append(r.ops, [3]uint64{0, u, v})
-	return r.fail
-}
-
-func (r *walRecorder) LogDelete(u, v uint64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.ops = append(r.ops, [3]uint64{1, u, v})
+	for _, op := range b {
+		code := uint64(0)
+		if op.Kind == core.OpDelete {
+			code = 1
+		}
+		r.ops = append(r.ops, [3]uint64{code, op.U, op.V})
+	}
 	return r.fail
 }
 

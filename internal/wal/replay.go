@@ -20,8 +20,11 @@ import (
 type ReplayStats struct {
 	// Segments is how many segment files were read.
 	Segments int
-	// Records is how many intact records were delivered.
+	// Records is how many intact ops were delivered, counting every op
+	// expanded out of a batch record.
 	Records uint64
+	// BatchRecords is how many OpBatch frames were decoded.
+	BatchRecords uint64
 	// TornBytes is the size of the dropped torn tail, zero for a log
 	// that was cleanly closed.
 	TornBytes int64
@@ -48,12 +51,13 @@ func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (Repl
 			continue
 		}
 		last := i == len(segs)-1
-		valid, n, err := scanSegment(s.path, s.index, last, fn)
+		valid, n, batches, err := scanSegment(s.path, s.index, last, fn)
 		if err != nil {
 			return stats, err
 		}
 		stats.Segments++
 		stats.Records += n
+		stats.BatchRecords += batches
 		if last {
 			if fi, err := os.Stat(s.path); err == nil && fi.Size() > valid {
 				stats.TornBytes = fi.Size() - valid
@@ -63,24 +67,29 @@ func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (Repl
 	return stats, nil
 }
 
-// scanSegment reads one segment, delivering records to fn (which may be
+// scanSegment reads one segment, delivering ops to fn (which may be
 // nil to just validate). It returns the byte length of the intact
-// prefix and the record count. With tolerateTail set — correct only for
-// the newest segment — a bad suffix within one frame of end-of-file is
-// a torn write (a crash leaves a partial record at the physical end)
-// and ends the scan cleanly at the last intact record. Damage followed
-// by more than a frame of data cannot be a tear, so even on the newest
-// segment it is reported as corruption rather than silently dropping
-// the acknowledged records after it.
-func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u, v uint64) error) (int64, uint64, error) {
+// prefix, the delivered op count and the batch-record count. With
+// tolerateTail set — correct only for the newest segment — damage that
+// looks like a crash mid-write is a torn tail and ends the scan cleanly
+// at the last intact record. A tear is recognised when the bad record
+// physically reaches end-of-file: the read hit EOF inside the record, a
+// complete-but-CRC-failing frame ends exactly at EOF (the final write's
+// bytes exist but lie), or the whole remaining region fits inside one
+// single-op frame. Damage followed by further intact data cannot be a
+// tear, so even on the newest segment it is reported as corruption
+// rather than silently dropping the acknowledged records after it.
+// Batch ops are validated whole before any of them is delivered: a
+// record never applies partially.
+func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u, v uint64) error) (int64, uint64, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	fileSize := fi.Size()
 	br := bufio.NewReaderSize(f, 1<<20)
@@ -94,75 +103,136 @@ func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u,
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		if tolerateTail {
 			// A crash can even tear the header write of a fresh segment.
-			return 0, 0, nil
+			return 0, 0, 0, nil
 		}
-		return 0, 0, corrupt(0, "segment header truncated", err)
+		return 0, 0, 0, corrupt(0, "segment header truncated", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != segMagic {
-		return 0, 0, corrupt(0, "not a WAL segment", nil)
+		return 0, 0, 0, corrupt(0, "not a WAL segment", nil)
 	}
 	if hdr[4] != segVersion {
-		return 0, 0, corrupt(4, fmt.Sprintf("unsupported WAL version %d", hdr[4]), nil)
+		return 0, 0, 0, corrupt(4, fmt.Sprintf("unsupported WAL version %d", hdr[4]), nil)
 	}
 	if got := binary.LittleEndian.Uint64(hdr[5:]); got != index {
-		return 0, 0, corrupt(5, fmt.Sprintf("segment claims index %d, file named %d", got, index), nil)
+		return 0, 0, 0, corrupt(5, fmt.Sprintf("segment claims index %d, file named %d", got, index), nil)
 	}
 
-	// A single record occupies at most maxFrame bytes, so a tear — the
-	// missing suffix of the final write — can only start this close to
-	// the end of the file.
-	const maxFrame = frameOverhead + maxPayload
+	// The legacy tear window: garbage entirely within one single-op
+	// frame of end-of-file is dropped even when it does not read as a
+	// truncation.
+	const maxSingleFrame = frameOverhead + maxPayload
 	valid := int64(segHeaderSize)
-	var records uint64
-	var payload [maxPayload]byte
+	var records, batches uint64
+	var payload []byte // reused; grows to the largest record seen
+	var scratch []core.Op
 	for {
 		length, n, err := readUvarintCounted(br)
 		if err == io.EOF && n == 0 {
-			return valid, records, nil // clean end on a record boundary
+			return valid, records, batches, nil // clean end on a record boundary
 		}
-		bad := func(detail string, cause error) (int64, uint64, error) {
-			if tolerateTail && fileSize-valid <= maxFrame {
-				return valid, records, nil
+		// bad classifies a failed record. frameEnd is the record's byte
+		// end when the whole frame was read, -1 when the failure struck
+		// earlier; truncated marks reads that hit EOF inside the record.
+		bad := func(frameEnd int64, truncated bool, detail string, cause error) (int64, uint64, uint64, error) {
+			if tolerateTail &&
+				(truncated || frameEnd == fileSize || fileSize-valid <= maxSingleFrame) {
+				return valid, records, batches, nil
 			}
-			return 0, 0, corrupt(valid, detail, cause)
+			return 0, 0, 0, corrupt(valid, detail, cause)
 		}
 		if err != nil {
-			return bad("record length truncated", err)
+			return bad(-1, err == io.EOF || err == io.ErrUnexpectedEOF, "record length truncated", err)
 		}
-		if length == 0 || length > maxPayload {
-			return bad(fmt.Sprintf("implausible record length %d", length), nil)
+		if length == 0 || length > maxBatchPayload {
+			return bad(-1, false, fmt.Sprintf("implausible record length %d", length), nil)
+		}
+		if int(length) > cap(payload) {
+			payload = make([]byte, length)
 		}
 		p := payload[:length]
 		if _, err := io.ReadFull(br, p); err != nil {
-			return bad("record payload truncated", err)
+			return bad(-1, true, "record payload truncated", err)
 		}
 		var crcb [crcSize]byte
 		if _, err := io.ReadFull(br, crcb[:]); err != nil {
-			return bad("record checksum truncated", err)
+			return bad(-1, true, "record checksum truncated", err)
 		}
+		frameEnd := valid + int64(n) + int64(length) + crcSize
 		if binary.LittleEndian.Uint32(crcb[:]) != crc32.Checksum(p, castagnoli) {
-			return bad("checksum mismatch", nil)
+			return bad(frameEnd, false, "checksum mismatch", nil)
 		}
-		op := Op(p[0])
-		if op != OpInsert && op != OpDelete {
-			return bad(fmt.Sprintf("unknown op %d", p[0]), nil)
-		}
-		u, un := core.Uvarint(p[1:])
-		if un <= 0 {
-			return bad("bad u varint", nil)
-		}
-		v, vn := core.Uvarint(p[1+un:])
-		if vn <= 0 || 1+un+vn != int(length) {
-			return bad("bad v varint", nil)
-		}
-		if fn != nil {
-			if err := fn(op, u, v); err != nil {
-				return 0, 0, err
+		switch op := Op(p[0]); op {
+		case OpInsert, OpDelete:
+			u, un := core.Uvarint(p[1:])
+			if un <= 0 {
+				return bad(frameEnd, false, "bad u varint", nil)
 			}
+			v, vn := core.Uvarint(p[1+un:])
+			if vn <= 0 || 1+un+vn != int(length) {
+				return bad(frameEnd, false, "bad v varint", nil)
+			}
+			if fn != nil {
+				if err := fn(op, u, v); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+			records++
+		case OpBatch:
+			ops, ok := decodeBatchPayload(p[1:], scratch[:0])
+			if !ok {
+				return bad(frameEnd, false, "malformed batch record", nil)
+			}
+			scratch = ops[:0]
+			if fn != nil {
+				for _, o := range ops {
+					if err := fn(Op(o.Kind), o.U, o.V); err != nil {
+						return 0, 0, 0, err
+					}
+				}
+			}
+			records += uint64(len(ops))
+			batches++
+		default:
+			return bad(frameEnd, false, fmt.Sprintf("unknown op %d", p[0]), nil)
 		}
-		valid += int64(n) + int64(length) + crcSize
-		records++
+		valid = frameEnd
 	}
+}
+
+// decodeBatchPayload parses the body of an OpBatch record (everything
+// after the op tag) into out, validating it completely: the declared op
+// count must match the encoded ops exactly and every op must be an
+// insert or delete. It reports ok=false on any malformation so the
+// caller can reject the record before applying a single op.
+func decodeBatchPayload(body []byte, out []core.Op) ([]core.Op, bool) {
+	count, cn := core.Uvarint(body)
+	if cn <= 0 || count == 0 || count > maxBatchOps {
+		return nil, false
+	}
+	body = body[cn:]
+	for i := uint64(0); i < count; i++ {
+		if len(body) == 0 {
+			return nil, false
+		}
+		kind := core.OpKind(body[0])
+		if kind != core.OpInsert && kind != core.OpDelete {
+			return nil, false
+		}
+		u, un := core.Uvarint(body[1:])
+		if un <= 0 {
+			return nil, false
+		}
+		v, vn := core.Uvarint(body[1+un:])
+		if vn <= 0 {
+			return nil, false
+		}
+		body = body[1+un+vn:]
+		out = append(out, core.Op{Kind: kind, U: u, V: v})
+	}
+	if len(body) != 0 {
+		return nil, false
+	}
+	return out, true
 }
 
 // readUvarintCounted decodes a uvarint and reports how many bytes it
@@ -232,18 +302,23 @@ func Recover(dir string, cfg sharded.Config) (*sharded.Graph, RecoverStats, erro
 		g = sharded.New(cfg)
 	}
 
+	// Replay through the batch path: chunks preserve log order per
+	// source node (the order that matters) while amortizing shard locks
+	// and cell lookups — recovery is itself a bulk ingest.
+	c := core.NewChunker(sharded.LoadBatchSize, func(b core.Batch) { g.ApplyBatch(b) })
 	stats.Replay, err = Replay(dir, seg, func(op Op, u, v uint64) error {
 		switch op {
 		case OpInsert:
-			g.InsertEdge(u, v)
+			c.Insert(u, v)
 		case OpDelete:
-			g.DeleteEdge(u, v)
+			c.Delete(u, v)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, stats, err
 	}
+	c.Flush()
 	stats.Elapsed = time.Since(start)
 	return g, stats, nil
 }

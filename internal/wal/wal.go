@@ -41,10 +41,16 @@ import (
 // Op tags one log record.
 type Op byte
 
-// The record kinds. Values are stable on-disk format.
+// The record kinds. Values are stable on-disk format; OpInsert and
+// OpDelete deliberately match core.OpInsert/core.OpDelete so batch
+// payloads embed core ops byte-for-byte.
 const (
 	OpInsert Op = 1
 	OpDelete Op = 2
+	// OpBatch frames a whole mutation batch as one record: a uvarint op
+	// count followed by count (op, u, v) tuples, all under a single
+	// CRC. Replay expands it back into the ordered ops.
+	OpBatch Op = 3
 )
 
 func (o Op) String() string {
@@ -53,8 +59,21 @@ func (o Op) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// opOf maps a core op kind onto its on-disk tag.
+func opOf(k core.OpKind) (Op, error) {
+	switch k {
+	case core.OpInsert:
+		return OpInsert, nil
+	case core.OpDelete:
+		return OpDelete, nil
+	}
+	return 0, fmt.Errorf("wal: unloggable op kind %d", k)
 }
 
 // ParseSyncPolicy maps the user-facing policy names — the wal_enable
@@ -109,13 +128,22 @@ const (
 	segVersion = 1
 	// segHeaderSize is magic (4) + version (1) + segment index (8).
 	segHeaderSize = 13
-	// maxPayload bounds a record payload: op byte + two max uvarints.
-	// Anything larger in a length prefix is damage, not a record.
+	// maxPayload bounds a single-op record payload: op byte + two max
+	// uvarints.
 	maxPayload = 1 + 2*core.MaxVarintLen64
-	// frameOverhead is the non-payload bytes per record: a worst-case
-	// length prefix is 1 byte (maxPayload < 128) and the CRC is 4.
+	// frameOverhead is the non-payload bytes per single-op record: a
+	// worst-case length prefix is 1 byte (maxPayload < 128) and the CRC
+	// is 4.
 	frameOverhead = 1 + crcSize
 	crcSize       = 4
+
+	// maxBatchOps caps the ops framed into one OpBatch record; larger
+	// batches are chunked into several records (still queued as one
+	// group-commit slot). The cap bounds maxBatchPayload, the
+	// plausibility limit for any record's length prefix — anything
+	// larger is damage, not a record.
+	maxBatchOps     = 32768
+	maxBatchPayload = 1 + core.MaxVarintLen64 + maxBatchOps*(1+2*core.MaxVarintLen64)
 
 	segSuffix        = ".seg"
 	segPrefix        = "wal-"
@@ -187,7 +215,7 @@ func (w *WAL) openForAppend() error {
 		return w.openSegment(1)
 	}
 	last := segs[len(segs)-1]
-	valid, _, err := scanSegment(last.path, last.index, true, nil)
+	valid, _, _, err := scanSegment(last.path, last.index, true, nil)
 	if err != nil {
 		return err
 	}
@@ -284,10 +312,16 @@ func (w *WAL) startFlusher() {
 // Dir returns the WAL's directory.
 func (w *WAL) Dir() string { return w.dir }
 
-// Segment returns the index of the segment currently appended to.
+// Segment returns the index of the segment currently appended to. It
+// waits out any in-flight group commit: the leader mutates the segment
+// state with mu released (only the flushing flag held), so reading
+// before the flush settles would race.
 func (w *WAL) Segment() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for w.flushing {
+		w.cond.Wait()
+	}
 	return w.seg
 }
 
@@ -298,18 +332,61 @@ func (w *WAL) Err() error {
 	return w.err
 }
 
-// LogInsert implements sharded.Logger.
+// LogBatch implements sharded.Logger: the applied sub-batch of one
+// shard partition becomes one batch record (chunked past maxBatchOps)
+// in one group-commit slot.
+func (w *WAL) LogBatch(b core.Batch) error { return w.AppendBatch(b) }
+
+// LogInsert logs a single insert — a size-1 batch in record terms.
 func (w *WAL) LogInsert(u, v uint64) error { return w.Append(OpInsert, u, v) }
 
-// LogDelete implements sharded.Logger.
+// LogDelete logs a single delete.
 func (w *WAL) LogDelete(u, v uint64) error { return w.Append(OpDelete, u, v) }
 
 // Append durably logs one record and returns once it (and, for free,
 // every record queued alongside it) is written — the group commit.
 func (w *WAL) Append(op Op, u, v uint64) error {
 	var frame [maxPayload + frameOverhead]byte
-	rec := encodeFrame(frame[:0], op, u, v)
+	return w.enqueue(encodeFrame(frame[:0], op, u, v))
+}
 
+// AppendBatch durably logs a whole mutation batch as one record —
+// one length prefix, one CRC32C, one group-commit slot — so the
+// per-record framing and fsync cost is amortized across the batch. A
+// size-1 batch is encoded in the plain single-op format (the formats
+// coexist in one log); batches beyond maxBatchOps are chunked into
+// several records but still commit as one slot. Replay delivers the ops
+// back in order. An empty batch is a no-op.
+func (w *WAL) AppendBatch(b core.Batch) error {
+	switch len(b) {
+	case 0:
+		return nil
+	case 1:
+		op, err := opOf(b[0].Kind)
+		if err != nil {
+			return err
+		}
+		return w.Append(op, b[0].U, b[0].V)
+	}
+	var buf []byte
+	for len(b) > 0 {
+		chunk := b
+		if len(chunk) > maxBatchOps {
+			chunk = chunk[:maxBatchOps]
+		}
+		b = b[len(chunk):]
+		var err error
+		buf, err = encodeBatchFrame(buf, chunk)
+		if err != nil {
+			return err
+		}
+	}
+	return w.enqueue(buf)
+}
+
+// enqueue queues already-framed records for the next group commit and
+// blocks until they are durable per the sync policy.
+func (w *WAL) enqueue(rec []byte) error {
 	w.mu.Lock()
 	if w.err != nil {
 		w.mu.Unlock()
@@ -319,12 +396,18 @@ func (w *WAL) Append(op Op, u, v uint64) error {
 		w.mu.Unlock()
 		return ErrClosed
 	}
+	wasEmpty := len(w.pending) == 0
 	w.pending = append(w.pending, rec...)
 	w.nextSeq++
 	seq := w.nextSeq
 	if w.opts.Sync == SyncAsync {
-		// Acknowledge immediately; the background flusher owns the write.
-		w.cond.Broadcast()
+		// Acknowledge immediately; the background flusher owns the
+		// write. The flusher only ever parks on an empty queue, so just
+		// the empty→non-empty transition needs to wake it — appends that
+		// land while it is writing are picked up when it loops.
+		if wasEmpty {
+			w.cond.Broadcast()
+		}
 		w.mu.Unlock()
 		return nil
 	}
@@ -567,6 +650,26 @@ func encodeFrame(buf []byte, op Op, u, v uint64) []byte {
 	buf = core.AppendUvarint(buf, uint64(len(p)))
 	buf = append(buf, p...)
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(p, castagnoli))
+}
+
+// encodeBatchFrame appends one framed OpBatch record holding ops (at
+// most maxBatchOps of them) to buf and returns it.
+func encodeBatchFrame(buf []byte, ops core.Batch) ([]byte, error) {
+	payload := make([]byte, 0, 1+core.MaxVarintLen64+len(ops)*3)
+	payload = append(payload, byte(OpBatch))
+	payload = core.AppendUvarint(payload, uint64(len(ops)))
+	for _, o := range ops {
+		op, err := opOf(o.Kind)
+		if err != nil {
+			return nil, err
+		}
+		payload = append(payload, byte(op))
+		payload = core.AppendUvarint(payload, o.U)
+		payload = core.AppendUvarint(payload, o.V)
+	}
+	buf = core.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli)), nil
 }
 
 func segmentPath(dir string, index uint64) string {
