@@ -9,7 +9,7 @@
 //
 // Experiments: table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 // fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 kicks
-// concurrent parallel durability batchops all
+// concurrent parallel durability batchops snapshot all
 package main
 
 import (
@@ -43,7 +43,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|durability|batchops|all>")
+		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|durability|batchops|snapshot|all>")
 		os.Exit(2)
 	}
 	run(flag.Arg(0))
@@ -94,11 +94,13 @@ func run(name string) {
 		durability()
 	case "batchops":
 		batchOps()
+	case "snapshot":
+		snapshot()
 	case "all":
 		for _, n := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "concurrent", "parallel",
-			"durability", "batchops"} {
+			"durability", "batchops", "snapshot"} {
 			run(n)
 			fmt.Println()
 		}
@@ -522,6 +524,35 @@ func batchOps() {
 	}
 	bench.PrintTable(os.Stdout,
 		[]string{"path", "insert Mops", "speedup", "WAL MB", "WAL B/edge"}, rows)
+}
+
+// snapshot prices the epoch-based frozen views: the second half of the
+// CAIDA stream is ingested by 4 writers while 0, 1 or 4 views of the
+// half-loaded graph stay live, reporting writer throughput, the
+// snapshot-open freeze latency, and the copy-on-write bytes per million
+// applied mutations.
+func snapshot() {
+	fmt.Printf("== Snapshot views: writer cost of live frozen views (CAIDA, scale 1/%d) ==\n", *scale)
+	results := bench.SnapshotWorkload(stream("CAIDA"), 4, []int{0, 1, 4})
+	base := results[0].WriterMops
+	rows := [][]string{}
+	for _, r := range results {
+		open := "-"
+		if r.Views > 0 {
+			open = r.OpenLatency.Round(time.Microsecond).String()
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Views),
+			fmt.Sprintf("%d", r.Edges),
+			fmt.Sprintf("%.3f", r.WriterMops),
+			bench.Ratio(r.WriterMops, base),
+			open,
+			fmt.Sprintf("%.3f", r.CoWPerMOps/(1<<20)),
+		})
+	}
+	bench.PrintTable(os.Stdout,
+		[]string{"live views", "ops", "writer Mops", "vs 0 views", "open latency", "CoW MB/1M ops"},
+		rows)
 }
 
 // kicks reproduces the §IV-A measurement: average insertions per item.

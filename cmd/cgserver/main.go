@@ -13,6 +13,15 @@
 //
 //	cgserver -addr 127.0.0.1:6380 -wal-dir /var/lib/cgserver \
 //	         -wal-sync always -checkpoint-every 5m
+//
+// g.snapshot freezes a consistent epoch-stamped view without blocking
+// writers; graph.bfs and graph.pagerank run on frozen views and accept
+// an epoch tag for time-travel reads. -snapshot-ring bounds how many
+// epochs the server retains:
+//
+//	cgcli g.snapshot            → 7
+//	cgcli graph.bfs 1 7         # BFS over the graph as of epoch 7
+//	cgcli g.release 7
 package main
 
 import (
@@ -31,6 +40,8 @@ func main() {
 	walDir := flag.String("wal-dir", "", "durability directory (write-ahead log + checkpoints); empty disables")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), nosync (page cache), async (background writes)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval, e.g. 5m (0 disables; requires -wal-dir)")
+	snapshotRing := flag.Int("snapshot-ring", redislike.DefaultSnapshotRing,
+		"how many g.snapshot epochs are retained for time-travel reads; the oldest is released past the bound")
 	flag.Parse()
 
 	srv := redislike.NewServer()
@@ -39,6 +50,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cgserver:", err)
 		os.Exit(1)
 	}
+	gm.SetSnapshotRing(*snapshotRing)
 
 	if *walDir != "" {
 		sync, err := wal.ParseSyncPolicy(*walSync)
@@ -89,7 +101,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cgserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.minsert g.mdel g.query g.getneighbors g.degree g.nodes wal_enable wal_replay checkpoint)\n", bound)
+	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.minsert g.mdel g.query g.getneighbors g.degree g.nodes g.snapshot g.snapshots g.release graph.bfs graph.pagerank wal_enable wal_replay checkpoint)\n", bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

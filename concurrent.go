@@ -99,9 +99,63 @@ func (s *SafeGraph) PageRank(iters int) map[NodeID]float64 {
 	return analytics.ParallelPageRank(s.s, iters, s.workers)
 }
 
-// Save snapshots the graph while holding every shard's read lock, so
-// the snapshot is a consistent cut even under concurrent mutation.
+// Save snapshots the graph as a consistent cut even under concurrent
+// mutation: the graph is frozen only briefly and the serialization
+// streams from a frozen view while writers proceed.
 func (s *SafeGraph) Save(w io.Writer) error { return s.s.Save(w) }
+
+// FrozenView is an immutable, cross-shard-consistent snapshot of a
+// SafeGraph, stamped with a monotonic epoch. Taking one copies nothing;
+// the graph lazily copies-on-write only the adjacency cells later
+// mutations actually touch, so long analytics passes run on a frozen
+// view without ever blocking writers. Call Release when done.
+type FrozenView struct {
+	v       *sharded.View
+	workers int
+}
+
+// Snapshot returns a frozen view of the graph as it is now.
+func (s *SafeGraph) Snapshot() *FrozenView {
+	return &FrozenView{v: s.s.Snapshot(), workers: s.workers}
+}
+
+// Epoch returns the monotonic snapshot epoch of the view.
+func (f *FrozenView) Epoch() uint64 { return f.v.Epoch() }
+
+// Release drops the view; the graph stops preserving state for it.
+func (f *FrozenView) Release() { f.v.Release() }
+
+// HasEdge reports whether ⟨u,v⟩ was stored at the view's epoch.
+func (f *FrozenView) HasEdge(u, v NodeID) bool { return f.v.HasEdge(u, v) }
+
+// Successors returns u's successors at the view's epoch.
+func (f *FrozenView) Successors(u NodeID) []NodeID { return f.v.Successors(u) }
+
+// ForEachSuccessor calls fn for each successor u had at the view's
+// epoch until fn returns false.
+func (f *FrozenView) ForEachSuccessor(u NodeID, fn func(v NodeID) bool) {
+	f.v.ForEachSuccessor(u, fn)
+}
+
+// ForEachNode calls fn for every node that had an out-edge at the epoch.
+func (f *FrozenView) ForEachNode(fn func(u NodeID) bool) { f.v.ForEachNode(fn) }
+
+// NumEdges returns the number of distinct edges at the view's epoch.
+func (f *FrozenView) NumEdges() uint64 { return f.v.NumEdges() }
+
+// NumNodes returns the number of distinct source nodes at the epoch.
+func (f *FrozenView) NumNodes() uint64 { return f.v.NumNodes() }
+
+// BFS traverses the frozen view from root with the worker-pool
+// frontier expansion — online analytics that never stalls ingestion.
+func (f *FrozenView) BFS(root NodeID) []NodeID {
+	return analytics.ParallelBFS(f.v, root, f.workers)
+}
+
+// PageRank runs iters rounds of the power method over the frozen view.
+func (f *FrozenView) PageRank(iters int) map[NodeID]float64 {
+	return analytics.ParallelPageRank(f.v, iters, f.workers)
+}
 
 // Save writes a binary snapshot of the graph (header + fixed-width edge
 // records) suitable for Load.

@@ -43,8 +43,8 @@
 // its S-CHT chain — lives in exactly one shard, so mutations on
 // different shards proceed fully in parallel and queries take only the
 // owning shard's read lock. Aggregate counters are atomics; Stats and
-// MemoryUsage merge across shards; Save takes every shard's read lock
-// so snapshots are consistent cuts even under concurrent writes, and
+// MemoryUsage merge across shards; Save serializes a consistent cut
+// from a frozen view without holding shard locks across the write, and
 // snapshots round-trip across different shard counts (and to/from the
 // single-writer Graph format).
 //
@@ -54,6 +54,18 @@
 // graph without deadlocking. Options.Parallelism sets the worker count
 // for SafeGraph.BFS and SafeGraph.PageRank, the worker-pool analytics
 // built on the sharded engine.
+//
+// # Snapshots
+//
+// SafeGraph.Snapshot returns a FrozenView: an immutable, cross-shard-
+// consistent snapshot stamped with a monotonic epoch. Opening one
+// copies nothing — the graph briefly freezes each shard to register the
+// view, then lazily copies-on-write only the adjacency cells later
+// mutations actually touch, at L-CHT cell granularity, sharing each
+// pre-image across all live views. Long analytics passes
+// (FrozenView.BFS, FrozenView.PageRank) therefore run on a stable
+// point-in-time graph without ever blocking writers. Call Release when
+// done so the graph stops preserving state for the view.
 //
 // The internal packages also contain from-scratch implementations of the
 // paper's baselines (LiveGraph, Sortledton, Wind-Bell Index, Spruce,

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"cuckoograph/internal/dataset"
+)
+
+func TestSnapshotWorkload(t *testing.T) {
+	spec, ok := dataset.ByName("CAIDA")
+	if !ok {
+		t.Fatal("no CAIDA dataset spec")
+	}
+	stream := dataset.Generate(spec, 4096, 7)
+	if len(stream) < 200 {
+		t.Fatalf("stream too small to split: %d edges", len(stream))
+	}
+	results := SnapshotWorkload(stream, 2, []int{0, 1, 4})
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[0].Views != 0 || results[1].Views != 1 || results[2].Views != 4 {
+		t.Fatalf("view counts wrong: %+v", results)
+	}
+	for _, r := range results {
+		if r.WriterMops <= 0 {
+			t.Fatalf("no writer throughput measured with %d views", r.Views)
+		}
+	}
+	if results[0].CoWBytes != 0 {
+		t.Fatalf("baseline run copied %d CoW bytes with no views live", results[0].CoWBytes)
+	}
+	for _, r := range results[1:] {
+		if r.CoWBytes == 0 {
+			t.Fatalf("write phase under %d live views copied nothing; CoW not exercised", r.Views)
+		}
+		if r.OpenLatency <= 0 {
+			t.Fatalf("snapshot open latency not measured with %d views", r.Views)
+		}
+	}
+}

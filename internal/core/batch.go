@@ -125,82 +125,94 @@ const (
 // record of a batch.
 func (e *engine[W]) applyBatch(b Batch, one W, onDup, onDel func(*W) bool, onApplied func(Op)) BatchResult {
 	var res BatchResult
-	if len(b) == 0 {
-		return res
+	switch len(b) {
+	case 0:
+	case 1:
+		// A size-1 batch — every single-op wrapper — skips the cell
+		// cache: it could never get a second hit, and keeping the cache
+		// arrays out of this function's frame keeps the hot single-op
+		// path free of their ~4.5 KiB of stack zeroing (declared
+		// unconditionally here, the compiler zeroes them per call even
+		// on the size-1 path).
+		e.applyOp(b[0], e.findPart2(b[0].U), one, onDup, onDel, onApplied, &res)
+	default:
+		res = e.applyBatchCached(b, one, onDup, onDel, onApplied)
 	}
-	// The Part-1 cache: a small direct-mapped table of u → cell pointer
-	// that amortizes the L-CHT probe across a batch — the hot nodes of
-	// a skewed stream recur every few ops, so most ops hit. Entries are
-	// pointers into the L-CHT (or L-DL) and stay valid only while no op
-	// restructures those tables: a cell insertion (kicks can relocate
-	// any cell, growth rebuilds tables) or a node removal (ditto, plus
-	// L-DL appends that may reallocate) flushes the cache. Everything
-	// else on the mutation path — the S-CHT chains, the S-DL, inline
-	// slots — lives outside the L-CHT. Direct mapping beats a per-node
-	// map: the probe being amortized is itself only a couple of bucket
-	// reads, so a Go map lookup would cost as much as it saves. A
-	// size-1 batch skips the cache — it could never get a second hit —
-	// keeping the single-op wrappers free of the array zeroing.
+	return res
+}
+
+// applyBatchCached is the multi-op body of applyBatch, with the Part-1
+// cache: a small direct-mapped table of u → cell pointer that amortizes
+// the L-CHT probe across a batch — the hot nodes of a skewed stream
+// recur every few ops, so most ops hit. Entries are pointers into the
+// L-CHT (or L-DL) and stay valid only while no op restructures those
+// tables: a cell insertion (kicks can relocate any cell, growth
+// rebuilds tables) or a node removal (ditto, plus L-DL appends that may
+// reallocate) flushes the cache. Everything else on the mutation path —
+// the S-CHT chains, the S-DL, inline slots — lives outside the L-CHT.
+// Direct mapping beats a per-node map: the probe being amortized is
+// itself only a couple of bucket reads, so a Go map lookup would cost
+// as much as it saves.
+func (e *engine[W]) applyBatchCached(b Batch, one W, onDup, onDel func(*W) bool, onApplied func(Op)) BatchResult {
+	var res BatchResult
 	var (
 		cacheU [batchCacheSize]uint64
 		cacheP [batchCacheSize]*part2[W]
 		cached [batchCacheSize]bool
 	)
-	caching := len(b) > 1
-	invalidate := func() {
-		if caching {
-			cached = [batchCacheSize]bool{}
-		}
-	}
 	for _, op := range b {
 		var p *part2[W]
 		idx := (op.U * 0x9E3779B97F4A7C15) >> (64 - batchCacheBits)
-		if caching && cached[idx] && cacheU[idx] == op.U {
+		if cached[idx] && cacheU[idx] == op.U {
 			p = cacheP[idx]
 		} else {
 			p = e.findPart2(op.U)
-			if caching {
-				cacheU[idx], cacheP[idx], cached[idx] = op.U, p, true
-			}
+			cacheU[idx], cacheP[idx], cached[idx] = op.U, p, true
 		}
-		w := e.lookupIn(p, op.U, op.V)
-		switch op.Kind {
-		case OpInsert:
-			if w != nil {
-				if onDup != nil && onDup(w) {
-					res.Updated++
-				}
-				continue
-			}
-			e.insertAt(p, op.U, op.V, one)
-			if p == nil {
-				// A brand-new cell went through insertCell, which may
-				// have kicked, spilled or grown the L-CHT.
-				invalidate()
-			}
-			res.Inserted++
-			if onApplied != nil {
-				onApplied(op)
-			}
-		case OpDelete:
-			if w == nil {
-				continue
-			}
-			if onDel != nil && !onDel(w) {
-				res.Updated++
-				continue
-			}
-			_, _, restructured := e.deleteAt(op.U, op.V, p)
-			if restructured {
-				invalidate()
-			}
-			res.Deleted++
-			if onApplied != nil {
-				onApplied(op)
-			}
+		if e.applyOp(op, p, one, onDup, onDel, onApplied, &res) {
+			cached = [batchCacheSize]bool{}
 		}
-		// Unknown kinds are ignored: the decoders that produce batches
-		// (WAL replay, the wire protocol) reject them before this point.
 	}
 	return res
+}
+
+// applyOp applies one op given u's already-resolved cell (nil for an
+// unknown u), reporting whether the L-CHT or L-DL was restructured —
+// which invalidates any cached cell pointers, including p itself.
+func (e *engine[W]) applyOp(op Op, p *part2[W], one W, onDup, onDel func(*W) bool, onApplied func(Op), res *BatchResult) bool {
+	w := e.lookupIn(p, op.U, op.V)
+	switch op.Kind {
+	case OpInsert:
+		if w != nil {
+			if onDup != nil && onDup(w) {
+				res.Updated++
+			}
+			return false
+		}
+		e.insertAt(p, op.U, op.V, one)
+		res.Inserted++
+		if onApplied != nil {
+			onApplied(op)
+		}
+		// A brand-new cell went through insertCell, which may have
+		// kicked, spilled or grown the L-CHT.
+		return p == nil
+	case OpDelete:
+		if w == nil {
+			return false
+		}
+		if onDel != nil && !onDel(w) {
+			res.Updated++
+			return false
+		}
+		_, _, restructured := e.deleteAt(op.U, op.V, p)
+		res.Deleted++
+		if onApplied != nil {
+			onApplied(op)
+		}
+		return restructured
+	}
+	// Unknown kinds are ignored: the decoders that produce batches
+	// (WAL replay, the wire protocol) reject them before this point.
+	return false
 }

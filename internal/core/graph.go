@@ -51,6 +51,20 @@ func (g *Graph) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
 	g.e.forEachSuccessor(u, func(v uint64, _ *struct{}) bool { return fn(v) })
 }
 
+// AppendSuccessors appends every successor of u to dst and returns the
+// extended slice (nil input stays nil for a node with no edges). It is
+// the copy-on-write hook of the snapshot subsystem: when a frozen view
+// is live, a mutation's flight path — exactly the cells the mutation is
+// about to restructure — is preserved by copying the affected node's
+// adjacency through this method, and nothing else is ever copied.
+func (g *Graph) AppendSuccessors(u uint64, dst []uint64) []uint64 {
+	g.e.forEachSuccessor(u, func(v uint64, _ *struct{}) bool {
+		dst = append(dst, v)
+		return true
+	})
+	return dst
+}
+
 // ForEachNode calls fn for every node with at least one out-edge.
 func (g *Graph) ForEachNode(fn func(u uint64) bool) { g.e.forEachNode(fn) }
 

@@ -3,11 +3,14 @@ package redislike
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
+	"cuckoograph/internal/analytics"
 	"cuckoograph/internal/core"
+	"cuckoograph/internal/graphstore"
 	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/wal"
@@ -42,11 +45,32 @@ type GraphModule struct {
 		g    *sharded.Graph
 		muts uint64
 	}
+
+	// viewMu guards the time-travel ring: a bounded, oldest-first list
+	// of retained snapshot views. g.snapshot appends (releasing the
+	// oldest past viewCap), g.release drops one, and the epoch-tagged
+	// analytics commands resolve epochs against it. Bounding the ring
+	// bounds the copy-on-write state retained views can pin. Each entry
+	// records the graph it froze so a restore purges exactly the
+	// replaced graph's views (see releaseStaleViews).
+	viewMu  sync.Mutex
+	views   []ringEntry
+	viewCap int
 }
+
+// ringEntry pairs a retained view with the graph it froze.
+type ringEntry struct {
+	g *sharded.Graph
+	v *sharded.View
+}
+
+// DefaultSnapshotRing is how many snapshot epochs the module retains
+// for time-travel reads unless SetSnapshotRing says otherwise.
+const DefaultSnapshotRing = 8
 
 // NewGraphModule returns the CuckooGraph module ready for LoadModule.
 func NewGraphModule() (*GraphModule, *Module) {
-	gm := &GraphModule{g: sharded.New(sharded.Config{})}
+	gm := &GraphModule{g: sharded.New(sharded.Config{}), viewCap: DefaultSnapshotRing}
 	m := &Module{
 		Name: "cuckoograph",
 		Commands: map[string]HandlerFunc{
@@ -58,6 +82,11 @@ func NewGraphModule() (*GraphModule, *Module) {
 			"g.getneighbors": gm.getNeighbors,
 			"g.degree":       gm.degree,
 			"g.nodes":        gm.nodes,
+			"g.snapshot":     gm.snapshot,
+			"g.snapshots":    gm.snapshots,
+			"g.release":      gm.release,
+			"graph.bfs":      gm.graphBFS,
+			"graph.pagerank": gm.graphPageRank,
 			"wal_enable":     gm.walEnable,
 			"wal_replay":     gm.walReplay,
 			"checkpoint":     gm.checkpoint,
@@ -261,9 +290,234 @@ func (gm *GraphModule) nodes(args []string) resp.Value {
 	return resp.Array(out...)
 }
 
+// SetSnapshotRing bounds how many snapshot epochs are retained for
+// time-travel reads; taking a snapshot past the bound releases the
+// oldest. Shrinking the ring releases the surplus immediately. n < 1
+// keeps the bound at 1: g.snapshot always retains what it just took.
+func (gm *GraphModule) SetSnapshotRing(n int) {
+	if n < 1 {
+		n = 1
+	}
+	gm.viewMu.Lock()
+	defer gm.viewMu.Unlock()
+	gm.viewCap = n
+	for len(gm.views) > n {
+		gm.views[0].v.Release()
+		gm.views = gm.views[1:]
+	}
+}
+
+// releaseStaleViews drops every retained view whose graph is no longer
+// the module's current one — the cleanup step after a restore or
+// recovery swap. Purging by owner rather than wholesale matters: a
+// g.snapshot of the NEW graph can land in the ring between the swap
+// and this purge, and its epoch has already been handed to a client,
+// so it must survive.
+func (gm *GraphModule) releaseStaleViews() {
+	cur := gm.Graph()
+	gm.viewMu.Lock()
+	defer gm.viewMu.Unlock()
+	kept := gm.views[:0]
+	for _, e := range gm.views {
+		if e.g == cur {
+			kept = append(kept, e)
+		} else {
+			e.v.Release()
+		}
+	}
+	gm.views = kept
+}
+
+// viewAt resolves a retained view of the CURRENT graph by epoch,
+// adding a reference for the caller. Retaining under viewMu is what
+// makes it safe: a ring entry always carries the ring's own reference
+// while listed, so the view cannot reach zero — and start panicking
+// readers — between the lookup and the Retain, however the
+// release/evict commands race. Matching on the owner graph matters
+// during a restore: until releaseStaleViews finishes, the ring can
+// transiently hold views of the replaced graph whose epochs collide
+// with the fresh graph's restarted numbering, and those must never be
+// served. The caller must Release the reference when done.
+func (gm *GraphModule) viewAt(epoch uint64) *sharded.View {
+	cur := gm.Graph()
+	gm.viewMu.Lock()
+	defer gm.viewMu.Unlock()
+	for _, e := range gm.views {
+		if e.g == cur && e.v.Epoch() == epoch {
+			e.v.Retain()
+			return e.v
+		}
+	}
+	return nil
+}
+
+// snapshot takes a frozen view of the graph, retains it in the
+// time-travel ring (evicting the oldest past the bound) and replies
+// with its epoch tag. The ring only ever holds views of the current
+// graph: if a restore swaps the graph between taking the view and
+// ringing it, the stale view is dropped and the snapshot retried —
+// otherwise the ring would pin a dead graph's CoW state and, since a
+// fresh graph's epochs restart at 1, could serve pre-restore data
+// under a colliding epoch tag.
+func (gm *GraphModule) snapshot(args []string) resp.Value {
+	if len(args) != 0 {
+		return resp.Error("ERR g.snapshot: expected no arguments")
+	}
+	for {
+		var g *sharded.Graph
+		var v *sharded.View
+		gm.withGraph(func(cur *sharded.Graph) {
+			g = cur
+			v = cur.Snapshot()
+		})
+		gm.viewMu.Lock()
+		if gm.Graph() != g {
+			gm.viewMu.Unlock()
+			v.Release()
+			continue
+		}
+		gm.views = append(gm.views, ringEntry{g: g, v: v})
+		for len(gm.views) > gm.viewCap {
+			gm.views[0].v.Release()
+			gm.views = gm.views[1:]
+		}
+		gm.viewMu.Unlock()
+		return resp.Integer(int64(v.Epoch()))
+	}
+}
+
+// snapshots lists the retained epochs of the current graph, oldest
+// first (stale entries awaiting releaseStaleViews are invisible).
+func (gm *GraphModule) snapshots(args []string) resp.Value {
+	if len(args) != 0 {
+		return resp.Error("ERR g.snapshots: expected no arguments")
+	}
+	cur := gm.Graph()
+	gm.viewMu.Lock()
+	defer gm.viewMu.Unlock()
+	out := make([]resp.Value, 0, len(gm.views))
+	for _, e := range gm.views {
+		if e.g == cur {
+			out = append(out, resp.Integer(int64(e.v.Epoch())))
+		}
+	}
+	return resp.Array(out...)
+}
+
+// release drops the retained view with the given epoch, replying 1 if
+// it existed.
+func (gm *GraphModule) release(args []string) resp.Value {
+	if len(args) != 1 {
+		return resp.Error("ERR g.release: expected <epoch>")
+	}
+	epoch, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return resp.Error("ERR g.release: bad epoch " + strconv.Quote(args[0]))
+	}
+	cur := gm.Graph()
+	gm.viewMu.Lock()
+	defer gm.viewMu.Unlock()
+	for i, e := range gm.views {
+		// Only current-graph entries are addressable; a stale entry with
+		// a colliding epoch belongs to releaseStaleViews, not the client.
+		if e.g == cur && e.v.Epoch() == epoch {
+			e.v.Release()
+			gm.views = append(gm.views[:i], gm.views[i+1:]...)
+			return resp.Integer(1)
+		}
+	}
+	return resp.Integer(0)
+}
+
+// analyticsStore resolves the store an epoch-tagged analytics command
+// runs on: a retained view for an explicit epoch (with its own
+// reference, so a concurrent g.release or ring eviction cannot panic
+// the pass mid-flight), or a fresh ephemeral snapshot of now when the
+// epoch is omitted — either way the pass runs on a frozen view, never
+// blocks writers, and cleanup drops exactly the reference it holds.
+func (gm *GraphModule) analyticsStore(epochArg string) (graphstore.Store, func(), error) {
+	if epochArg != "" {
+		epoch, err := strconv.ParseUint(epochArg, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad epoch %q", epochArg)
+		}
+		v := gm.viewAt(epoch)
+		if v == nil {
+			return nil, nil, fmt.Errorf("no retained snapshot with epoch %d (see g.snapshots)", epoch)
+		}
+		return v, v.Release, nil
+	}
+	var v *sharded.View
+	gm.withGraph(func(g *sharded.Graph) { v = g.Snapshot() })
+	return v, v.Release, nil
+}
+
+// graphBFS is GRAPH.BFS <root> [epoch]: breadth-first traversal over a
+// frozen view, replying with the visited nodes in traversal order.
+func (gm *GraphModule) graphBFS(args []string) resp.Value {
+	if len(args) < 1 || len(args) > 2 {
+		return resp.Error("ERR graph.bfs: expected <root> [epoch]")
+	}
+	root, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return resp.Error("ERR graph.bfs: bad node id " + strconv.Quote(args[0]))
+	}
+	epochArg := ""
+	if len(args) == 2 {
+		epochArg = args[1]
+	}
+	s, cleanup, err := gm.analyticsStore(epochArg)
+	if err != nil {
+		return resp.Error("ERR graph.bfs: " + err.Error())
+	}
+	defer cleanup()
+	order := analytics.BFS(s, root)
+	out := make([]resp.Value, len(order))
+	for i, u := range order {
+		out[i] = resp.Integer(int64(u))
+	}
+	return resp.Array(out...)
+}
+
+// graphPageRank is GRAPH.PAGERANK <iters> [epoch]: the power method
+// over a frozen view, replying with a flat array of node, rank pairs
+// sorted by node id.
+func (gm *GraphModule) graphPageRank(args []string) resp.Value {
+	if len(args) < 1 || len(args) > 2 {
+		return resp.Error("ERR graph.pagerank: expected <iters> [epoch]")
+	}
+	iters, err := strconv.Atoi(args[0])
+	if err != nil || iters < 1 {
+		return resp.Error("ERR graph.pagerank: bad iteration count " + strconv.Quote(args[0]))
+	}
+	epochArg := ""
+	if len(args) == 2 {
+		epochArg = args[1]
+	}
+	s, cleanup, err := gm.analyticsStore(epochArg)
+	if err != nil {
+		return resp.Error("ERR graph.pagerank: " + err.Error())
+	}
+	defer cleanup()
+	rank := analytics.PageRank(s, iters)
+	nodes := make([]uint64, 0, len(rank))
+	for u := range rank {
+		nodes = append(nodes, u)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := make([]resp.Value, 0, 2*len(nodes))
+	for _, u := range nodes {
+		out = append(out,
+			resp.Integer(int64(u)),
+			resp.Bulk(strconv.FormatFloat(rank[u], 'g', 10, 64)))
+	}
+	return resp.Array(out...)
+}
+
 // saveRDB serialises the graph in the core snapshot format. The sharded
-// Save holds every shard's read lock for the duration, so the snapshot
-// is a consistent cut even while commands keep flowing.
+// Save freezes the graph only briefly and streams from a frozen view,
+// so the snapshot is a consistent cut and commands keep flowing while
+// it is written out.
 func (gm *GraphModule) saveRDB() []byte {
 	var buf bytes.Buffer
 	// Writing to a bytes.Buffer cannot fail.
@@ -287,6 +541,9 @@ func (gm *GraphModule) loadRDB(data []byte) error {
 	gm.swapMu.Lock()
 	gm.g = g
 	gm.swapMu.Unlock()
+	// Retained views froze the replaced graph; time travel does not
+	// survive a wholesale restore.
+	gm.releaseStaleViews()
 	if gm.wal != nil {
 		if _, err := wal.Checkpoint(g, gm.wal); err != nil {
 			return fmt.Errorf("cuckoograph rdb: checkpoint after restore: %w", err)
@@ -343,6 +600,7 @@ func (gm *GraphModule) RecoverWAL(dir string) (wal.RecoverStats, error) {
 	gm.swapMu.Lock()
 	gm.g = g
 	gm.swapMu.Unlock()
+	gm.releaseStaleViews()
 	gm.recovered.dir, gm.recovered.g = dir, g
 	gm.recovered.muts = g.Mutations()
 	return stats, nil

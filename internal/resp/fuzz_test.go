@@ -1,0 +1,113 @@
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeeds are the checked-in parser seeds: every value shape the
+// protocol defines, nesting, and the malformed prefixes the parser must
+// reject without allocating for them.
+func fuzzSeeds() map[string][]byte {
+	return map[string][]byte{
+		"simple":        []byte("+OK\r\n"),
+		"error":         []byte("-ERR boom\r\n"),
+		"integer":       []byte(":12345\r\n"),
+		"negative-int":  []byte(":-7\r\n"),
+		"bulk":          []byte("$4\r\nPING\r\n"),
+		"empty-bulk":    []byte("$0\r\n\r\n"),
+		"null-bulk":     []byte("$-1\r\n"),
+		"empty-array":   []byte("*0\r\n"),
+		"command":       []byte("*3\r\n$8\r\ng.insert\r\n$1\r\n1\r\n$1\r\n2\r\n"),
+		"nested-array":  []byte("*2\r\n*1\r\n:1\r\n$1\r\nx\r\n"),
+		"huge-bulk":     []byte("$2147483647\r\n"),
+		"huge-array":    []byte("*2147483647\r\n"),
+		"short-bulk":    []byte("$5\r\nab\r\n"),
+		"short-array":   []byte("*1\r\n"),
+		"unknown-type":  []byte("?what\r\n"),
+		"missing-crlf":  []byte("$3\r\nabcXY"),
+		"empty-integer": []byte(":\r\n"),
+		"deep-nesting":  bytes.Repeat([]byte("*1\r\n"), 200),
+		"endless-line":  append([]byte("$"), bytes.Repeat([]byte("9"), 4096)...),
+		"empty":         {},
+	}
+}
+
+// FuzzRead throws arbitrary wire bytes at the RESP request parser — the
+// first thing the server does with untrusted network input. Properties:
+// Read never panics and never allocates unboundedly (the length-prefix
+// caps), and any value it does accept survives an encode/decode
+// round trip unchanged, so the server's reply path can always re-emit
+// what the parser admitted.
+func FuzzRead(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Read(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := Write(w, v); err != nil {
+			t.Fatalf("accepted value failed to encode: %v (value %#v)", err, v)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		v2, err := Read(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-read of encoded value failed: %v\nwire: %q", err, buf.String())
+		}
+		if !reflect.DeepEqual(v, v2) {
+			t.Fatalf("round trip changed value:\n got %#v\nwant %#v\nwire %q", v2, v, buf.String())
+		}
+	})
+}
+
+func TestReadRejectsEndlessLine(t *testing.T) {
+	data := append([]byte(":"), bytes.Repeat([]byte("9"), MaxLineBytes+16)...)
+	_, err := Read(bufio.NewReader(bytes.NewReader(data)))
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("unterminated %dKB line = %v, want ErrProtocol", MaxLineBytes>>10, err)
+	}
+}
+
+func TestReadRejectsDeepNesting(t *testing.T) {
+	atLimit := append(bytes.Repeat([]byte("*1\r\n"), MaxDepth), []byte(":1\r\n")...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(atLimit))); err != nil {
+		t.Fatalf("nesting at MaxDepth rejected: %v", err)
+	}
+	tooDeep := append(bytes.Repeat([]byte("*1\r\n"), MaxDepth+1), []byte(":1\r\n")...)
+	_, err := Read(bufio.NewReader(bytes.NewReader(tooDeep)))
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("nesting past MaxDepth = %v, want ErrProtocol", err)
+	}
+}
+
+// TestGenerateFuzzCorpus (re)writes the checked-in seed corpus under
+// testdata/fuzz. Run with CGFUZZ_GEN=1 after changing fuzzSeeds and
+// commit the result.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("CGFUZZ_GEN") == "" {
+		t.Skip("set CGFUZZ_GEN=1 to regenerate the checked-in corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range fuzzSeeds() {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package sharded
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"cuckoograph/internal/core"
+)
+
+// refModel is the plain-map reference the differential test checks the
+// engine against: the ground-truth edge set after a prefix of the op
+// stream.
+type refModel map[uint64]map[uint64]struct{}
+
+func (m refModel) apply(b core.Batch) {
+	for _, op := range b {
+		switch op.Kind {
+		case core.OpInsert:
+			s := m[op.U]
+			if s == nil {
+				s = make(map[uint64]struct{})
+				m[op.U] = s
+			}
+			s[op.V] = struct{}{}
+		case core.OpDelete:
+			if s := m[op.U]; s != nil {
+				delete(s, op.V)
+				if len(s) == 0 {
+					delete(m, op.U)
+				}
+			}
+		}
+	}
+}
+
+// freeze deep-copies the model into sorted adjacency slices — the shape
+// the verifier compares views against.
+func (m refModel) freeze() (map[uint64][]uint64, uint64) {
+	out := make(map[uint64][]uint64, len(m))
+	var edges uint64
+	for u, s := range m {
+		succ := make([]uint64, 0, len(s))
+		for v := range s {
+			succ = append(succ, v)
+		}
+		sort.Slice(succ, func(i, j int) bool { return succ[i] < succ[j] })
+		out[u] = succ
+		edges += uint64(len(succ))
+	}
+	return out, edges
+}
+
+// verifyView asserts v is bit-identical to the frozen model state at
+// its epoch: same counters, same node set, same adjacency per node, and
+// negative point queries for edges the model lacks. It is safe to call
+// from multiple goroutines while the graph keeps mutating.
+func verifyView(t *testing.T, v *View, model map[uint64][]uint64, edges uint64, nodeSpace, valSpace uint64, rng *rand.Rand) {
+	t.Helper()
+	if got := v.NumNodes(); got != uint64(len(model)) {
+		t.Errorf("epoch %d: NumNodes = %d, model has %d", v.Epoch(), got, len(model))
+		return
+	}
+	if got := v.NumEdges(); got != edges {
+		t.Errorf("epoch %d: NumEdges = %d, model has %d", v.Epoch(), got, edges)
+		return
+	}
+	var nodes []uint64
+	v.ForEachNode(func(u uint64) bool {
+		nodes = append(nodes, u)
+		return true
+	})
+	if len(nodes) != len(model) {
+		t.Errorf("epoch %d: iterated %d nodes, model has %d", v.Epoch(), len(nodes), len(model))
+		return
+	}
+	for _, u := range nodes {
+		want, ok := model[u]
+		if !ok {
+			t.Errorf("epoch %d: view has node %d the model lacks", v.Epoch(), u)
+			return
+		}
+		got := append([]uint64(nil), v.Successors(u)...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Errorf("epoch %d: node %d has %d successors, model %d", v.Epoch(), u, len(got), len(want))
+			return
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("epoch %d: node %d adjacency %v, model %v", v.Epoch(), u, got, want)
+				return
+			}
+		}
+	}
+	// Random negative and positive point probes.
+	for i := 0; i < 32; i++ {
+		u, x := rng.Uint64()%nodeSpace, rng.Uint64()%valSpace
+		want := false
+		if succ, ok := model[u]; ok {
+			j := sort.Search(len(succ), func(k int) bool { return succ[k] >= x })
+			want = j < len(succ) && succ[j] == x
+		}
+		if got := v.HasEdge(u, x); got != want {
+			t.Errorf("epoch %d: HasEdge(%d,%d) = %v, model says %v", v.Epoch(), u, x, got, want)
+			return
+		}
+	}
+}
+
+// TestDifferentialSnapshotsUnderMutation is the model-based
+// differential test of the snapshot subsystem: a random op stream is
+// applied batch by batch to the sharded engine and to a plain-map
+// reference model; snapshots are taken at random points, paired with a
+// deep copy of the model at that instant, and every live view is
+// verified continuously — by concurrent goroutines, while the mutation
+// stream keeps running — to stay bit-identical to the model state at
+// its epoch. At steady state six views are live at once (≥4, per the
+// acceptance criterion). Run it with -race: the verifiers' reads of
+// live shards and frozen overlays race against writers by design, and
+// the locking discipline has to hold.
+func TestDifferentialSnapshotsUnderMutation(t *testing.T) {
+	const (
+		nodeSpace = 96 // small spaces force constant re-touching of frozen cells
+		valSpace  = 64
+		rounds    = 240
+		batchMax  = 192
+		maxLive   = 6
+	)
+	g := New(Config{Shards: 8})
+	model := make(refModel)
+	rng := rand.New(rand.NewSource(7))
+
+	type liveView struct {
+		view  *View
+		model map[uint64][]uint64
+		edges uint64
+		stop  chan struct{}
+		done  chan struct{}
+	}
+	var live []*liveView
+
+	spawn := func() *liveView {
+		frozen, edges := model.freeze()
+		lv := &liveView{
+			view:  g.Snapshot(),
+			model: frozen,
+			edges: edges,
+			stop:  make(chan struct{}),
+			done:  make(chan struct{}),
+		}
+		seed := rng.Int63()
+		go func() {
+			defer close(lv.done)
+			vrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-lv.stop:
+					return
+				default:
+					verifyView(t, lv.view, lv.model, lv.edges, nodeSpace, valSpace, vrng)
+				}
+			}
+		}()
+		return lv
+	}
+	release := func(lv *liveView) {
+		close(lv.stop)
+		<-lv.done
+		lv.view.Release()
+	}
+
+	var readers sync.WaitGroup
+	stopReaders := make(chan struct{})
+	// Background point-readers on the live graph, so view reads, live
+	// reads and writes all overlap.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+					g.HasEdge(rrng.Uint64()%nodeSpace, rrng.Uint64()%valSpace)
+				}
+			}
+		}(int64(100 + i))
+	}
+
+	for r := 0; r < rounds; r++ {
+		n := 1 + rng.Intn(batchMax)
+		b := make(core.Batch, 0, n)
+		for i := 0; i < n; i++ {
+			u, v := rng.Uint64()%nodeSpace, rng.Uint64()%valSpace
+			if rng.Intn(3) == 0 {
+				b = b.Delete(u, v)
+			} else {
+				b = b.Insert(u, v)
+			}
+		}
+		g.ApplyBatch(b)
+		model.apply(b)
+
+		if r%20 == 0 || rng.Intn(40) == 0 {
+			live = append(live, spawn())
+			if len(live) > maxLive {
+				release(live[0])
+				live = live[1:]
+			}
+		}
+	}
+	if len(live) < 4 {
+		t.Fatalf("only %d live views at end of stream, want ≥4", len(live))
+	}
+	// Final ground-truth check of the live graph itself.
+	frozen, edges := model.freeze()
+	if g.NumEdges() != edges || g.NumNodes() != uint64(len(frozen)) {
+		t.Fatalf("live graph %d edges/%d nodes, model %d/%d",
+			g.NumEdges(), g.NumNodes(), edges, len(frozen))
+	}
+	for _, lv := range live {
+		release(lv)
+	}
+	close(stopReaders)
+	readers.Wait()
+	if g.LiveViews() != 0 {
+		t.Fatalf("LiveViews = %d after releasing everything", g.LiveViews())
+	}
+}

@@ -60,7 +60,20 @@ type Config struct {
 type shard struct {
 	mu sync.RWMutex
 	g  *core.Graph
-	_  [64 - 24 - 8]byte
+	// views are the live snapshot views registered on this shard,
+	// oldest first. Mutators consult it (under mu held for writing)
+	// to preserve copy-on-write pre-images before restructuring a
+	// cell; see Graph.preserve.
+	views []*View
+	// viewGen counts changes to the views list; cowU/cowGen memoise
+	// the last source node preserved into every live view, so the
+	// bursts of consecutive same-source ops that real edge streams
+	// produce skip the per-view overlay probes after the first op.
+	// All three are guarded by mu held for writing.
+	viewGen uint64
+	cowU    uint64
+	cowGen  uint64
+	_       [128 - 24 - 8 - 24 - 24]byte
 }
 
 // Graph is a concurrency-safe CuckooGraph partitioned by source node.
@@ -82,6 +95,24 @@ type Graph struct {
 
 	logErrMu sync.Mutex
 	logErr   error
+
+	// snapMu fences snapshots against multi-shard batches. A batch that
+	// spans shards applies its partitions under separate shard-lock
+	// acquisitions, so per-shard locking alone would let a freeze (or
+	// the old all-read-locks Checkpoint) land between two partitions and
+	// observe a half-applied batch. Multi-shard ApplyBatch holds snapMu
+	// for reading across all its partitions; Snapshot holds it for
+	// writing while registering the view, making every batch atomic with
+	// respect to every snapshot. Single-shard batches are already atomic
+	// under their one shard lock and skip snapMu entirely.
+	snapMu sync.RWMutex
+
+	// epoch stamps snapshots; it only ever grows. liveViews counts
+	// unreleased views; cowBytes accumulates pre-image bytes copied on
+	// behalf of views (the snapshot bench's CoW metric).
+	epoch     atomic.Uint64
+	liveViews atomic.Int64
+	cowBytes  atomic.Uint64
 }
 
 // ShardCount normalises a requested shard count: zero or negative means
@@ -200,11 +231,18 @@ func (g *Graph) shardIndex(u uint64) int {
 func (g *Graph) shardOf(u uint64) *shard { return &g.shards[g.shardIndex(u)] }
 
 // applyToShard is the one mutation path of the sharded engine: it
-// applies a batch whose ops all hash to sh under a single write-lock
-// acquisition, logs the applied sub-batch as one Logger call, and
-// settles the aggregate counters once for the whole partition.
-func (g *Graph) applyToShard(sh *shard, part core.Batch) core.BatchResult {
+// applies a batch whose ops all hash to shard si under a single
+// write-lock acquisition, logs the applied sub-batch as one Logger
+// call, and settles the aggregate counters once for the whole
+// partition. When live snapshot views exist, the pre-images of the
+// cells the partition touches are preserved first (see preserve) —
+// that, and nothing else, is the copy-on-write cost of a view.
+func (g *Graph) applyToShard(si int, part core.Batch) core.BatchResult {
+	sh := &g.shards[si]
 	sh.mu.Lock()
+	if len(sh.views) > 0 {
+		g.preserve(si, sh, part)
+	}
 	n0 := sh.g.NumNodes()
 	var res core.BatchResult
 	switch {
@@ -267,8 +305,14 @@ func (g *Graph) ApplyBatch(b core.Batch) core.BatchResult {
 		}
 	}
 	if single {
-		return g.applyToShard(&g.shards[first], b)
+		return g.applyToShard(first, b)
 	}
+	// The batch spans shards, so its partitions apply under separate
+	// lock acquisitions; holding snapMu for reading across all of them
+	// keeps the whole batch atomic with respect to snapshots and
+	// checkpoints (a freeze waits the batch out, and vice versa).
+	g.snapMu.RLock()
+	defer g.snapMu.RUnlock()
 	// Two-pass partition: count, carve one backing array into per-shard
 	// windows, fill. Three allocations total however many shards the
 	// batch touches — per-shard append-with-growth would pay an
@@ -303,7 +347,7 @@ func (g *Graph) ApplyBatch(b core.Batch) core.BatchResult {
 			if len(part) == 0 {
 				continue
 			}
-			r := g.applyToShard(&g.shards[i], part)
+			r := g.applyToShard(i, part)
 			total.Inserted += r.Inserted
 			total.Deleted += r.Deleted
 			total.Updated += r.Updated
@@ -319,7 +363,7 @@ func (g *Graph) ApplyBatch(b core.Batch) core.BatchResult {
 		wg.Add(1)
 		go func(i int, part core.Batch) {
 			defer wg.Done()
-			results[i] = g.applyToShard(&g.shards[i], part)
+			results[i] = g.applyToShard(i, part)
 		}(i, part)
 	}
 	wg.Wait()
@@ -339,7 +383,7 @@ const minParallelPartition = 128
 // batch over the shared mutation path.
 func (g *Graph) InsertEdge(u, v uint64) bool {
 	b := [1]core.Op{core.InsertOp(u, v)}
-	return g.applyToShard(g.shardOf(u), b[:]).Inserted == 1
+	return g.applyToShard(g.shardIndex(u), b[:]).Inserted == 1
 }
 
 // HasEdge reports whether ⟨u,v⟩ is stored.
@@ -355,7 +399,7 @@ func (g *Graph) HasEdge(u, v uint64) bool {
 // size-1 batch over the shared mutation path.
 func (g *Graph) DeleteEdge(u, v uint64) bool {
 	b := [1]core.Op{core.DeleteOp(u, v)}
-	return g.applyToShard(g.shardOf(u), b[:]).Deleted == 1
+	return g.applyToShard(g.shardIndex(u), b[:]).Deleted == 1
 }
 
 // ForEachSuccessor calls fn for each successor of u until fn returns
@@ -475,44 +519,31 @@ func (g *Graph) Stats() core.Stats {
 }
 
 // Save writes a snapshot in the basic-variant format of core.Graph.Save.
-// Every shard's read lock is held for the duration, so the snapshot is a
-// consistent cut even under concurrent mutation.
+// It is a consistent cut even under concurrent mutation: the graph is
+// frozen only for the brief view registration, and the serialization
+// streams from the frozen view while writers proceed.
 func (g *Graph) Save(w io.Writer) error {
 	return g.Checkpoint(w, nil)
 }
 
 // Checkpoint writes a Save-format snapshot, invoking cut (if non-nil)
-// while every shard's read lock is held, before any edge is emitted.
-// Because mutations log to the WAL under a shard's write lock — which
-// cannot be held while all read locks are — a cut that rotates the WAL
-// partitions the log exactly: every record logged before Checkpoint was
-// called lands in segments older than the rotation, every record after
-// in newer ones, and the snapshot reflects precisely the old segments.
-// That is the contract snapshot-plus-log-tail recovery depends on.
+// inside the freeze window — every shard's write lock held, multi-shard
+// batches excluded — before any edge is emitted. Because mutations log
+// to the WAL under a shard's write lock, which cannot be held while the
+// freeze is, a cut that rotates the WAL partitions the log exactly:
+// every record logged before the freeze lands in segments older than
+// the rotation, every record after in newer ones, and the snapshot
+// reflects precisely the old segments. That is the contract
+// snapshot-plus-log-tail recovery depends on. Unlike the freeze, the
+// serialization itself holds no shard locks: it streams from a frozen
+// view (released on return), so an arbitrarily large snapshot write no
+// longer stalls writers for its duration, and — via snapMu — it can
+// never observe a half-applied multi-shard batch.
 func (g *Graph) Checkpoint(w io.Writer, cut func() error) error {
-	for i := range g.shards {
-		g.shards[i].mu.RLock()
+	v, err := g.snapshotWithCut(cut)
+	if err != nil {
+		return err
 	}
-	defer func() {
-		for i := range g.shards {
-			g.shards[i].mu.RUnlock()
-		}
-	}()
-	if cut != nil {
-		if err := cut(); err != nil {
-			return err
-		}
-	}
-	var edges uint64
-	for i := range g.shards {
-		edges += g.shards[i].g.NumEdges()
-	}
-	return core.WriteBasicSnapshot(w, edges, func(emit func(u, v uint64) error) error {
-		for i := range g.shards {
-			if err := g.shards[i].g.EmitEdges(emit); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	defer v.Release()
+	return v.Save(w)
 }

@@ -1,0 +1,425 @@
+package sharded
+
+import (
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/graphstore"
+)
+
+// View is an immutable, cross-shard-consistent snapshot of a Graph,
+// stamped with the monotonic epoch at which it was taken.
+//
+// Taking a view copies nothing: Snapshot briefly freezes every shard in
+// shard order (an O(P) registration, no data movement) and the view
+// initially aliases the live cuckoo tables. From then on the shards
+// copy on write, lazily and at L-CHT cell granularity: the first
+// mutation to touch a source node u after the view's epoch first
+// preserves u's adjacency — exactly the flight path the mutation is
+// about to restructure — into the view's per-shard overlay, and nothing
+// an ongoing write stream never touches is ever copied. One preserved
+// pre-image is shared by every live view that needs it, so N concurrent
+// views cost one copy per touched node, not N.
+//
+// Reads resolve the overlay first and fall through to the live shard
+// (under its read lock) for untouched nodes, so a view is always
+// bit-identical to the graph as it stood at the view's epoch while
+// writers proceed at full speed. Release drops the view from every
+// shard's registry; everything it pinned becomes collectable
+// immediately. Using a view after Release panics.
+//
+// View implements graphstore.Store so the whole analytics suite runs on
+// frozen views; its mutating methods panic.
+type View struct {
+	g     *Graph
+	epoch uint64
+	nodes uint64
+	edges uint64
+
+	// overlays[i] is the copy-on-write state for shard i: the frozen
+	// adjacency of every node shard i mutated since the view's epoch. A
+	// nil/empty slice records that the node did not exist at the epoch.
+	// Entries are written by mutators under the shard's write lock and
+	// read by view readers under its read lock.
+	overlays []map[uint64][]uint64
+
+	// refs counts the holders of the view: 1 at birth for the taker,
+	// plus one per Retain. The view is dropped from the shard
+	// registries when the count reaches zero, so a shared holder (a
+	// server's snapshot ring, an in-flight analytics pass) can Release
+	// independently without pulling the view out from under the others.
+	refs atomic.Int64
+}
+
+// Compile-time wiring: a frozen view is a Store (so internal/analytics
+// runs on it unchanged) and the sharded engine is a Snapshotter.
+var (
+	_ graphstore.Store       = (*View)(nil)
+	_ graphstore.View        = (*View)(nil)
+	_ graphstore.Snapshotter = (*Graph)(nil)
+)
+
+// Snapshot returns a consistent frozen view of the whole graph. The
+// freeze is brief — every shard's write lock is taken in shard order,
+// the view is registered, and the locks are released before Snapshot
+// returns; no edge data is copied. Multi-shard batches are excluded for
+// the duration (see snapMu), so a view can never observe a half-applied
+// ApplyBatch. The caller must Release the view when done with it.
+func (g *Graph) Snapshot() *View {
+	v, _ := g.snapshotWithCut(nil)
+	return v
+}
+
+// SnapshotView implements graphstore.Snapshotter.
+func (g *Graph) SnapshotView() graphstore.View { return g.Snapshot() }
+
+// Epoch returns the epoch of the most recently taken snapshot; the next
+// snapshot is stamped with a strictly greater value.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
+// LiveViews returns how many unreleased views currently exist.
+func (g *Graph) LiveViews() int { return int(g.liveViews.Load()) }
+
+// CoWBytes returns the cumulative bytes of adjacency pre-images copied
+// on behalf of live views over the graph's lifetime — the total
+// copy-on-write cost of the snapshot subsystem. Each preserved node
+// costs 16 bytes of overlay entry plus 8 per frozen successor,
+// regardless of how many views share the pre-image.
+func (g *Graph) CoWBytes() uint64 { return g.cowBytes.Load() }
+
+// snapshotWithCut takes a snapshot, invoking cut (if non-nil) inside
+// the freeze window: every shard's write lock is held and multi-shard
+// batches are excluded, so a cut that rotates the WAL partitions the
+// log exactly against the view (mutations log under a shard's write
+// lock, which cannot be held while the freeze is).
+func (g *Graph) snapshotWithCut(cut func() error) (*View, error) {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	for i := range g.shards {
+		g.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range g.shards {
+			g.shards[i].mu.Unlock()
+		}
+	}()
+	if cut != nil {
+		if err := cut(); err != nil {
+			return nil, err
+		}
+	}
+	v := &View{
+		g:        g,
+		epoch:    g.epoch.Add(1),
+		nodes:    g.nodes.Load(),
+		edges:    g.edges.Load(),
+		overlays: make([]map[uint64][]uint64, len(g.shards)),
+	}
+	v.refs.Store(1)
+	for i := range g.shards {
+		v.overlays[i] = make(map[uint64][]uint64)
+		g.shards[i].views = append(g.shards[i].views, v)
+		g.shards[i].viewGen++
+	}
+	g.liveViews.Add(1)
+	return v, nil
+}
+
+// preserve copies the pre-images every live view of sh still needs
+// before part's ops restructure them. It runs under sh's write lock,
+// immediately before the partition is applied. Each distinct source
+// node in part is copied at most once; the copy is shared across all
+// views lacking it — correct for every one of them, because a node
+// whose adjacency had changed since a view's epoch would already be in
+// that view's overlay.
+func (g *Graph) preserve(si int, sh *shard, part core.Batch) {
+	var done map[uint64]struct{}
+	var pre []uint64
+	for _, op := range part {
+		u := op.U
+		// Memo hit: this exact node was already preserved into every
+		// current view (viewGen pins "current"), which real streams'
+		// same-source bursts make the common case.
+		if sh.cowGen == sh.viewGen && sh.cowU == u {
+			if len(part) == 1 {
+				return
+			}
+			continue
+		}
+		if _, dup := done[u]; dup {
+			continue
+		}
+		copied := false
+		for _, v := range sh.views {
+			ov := v.overlays[si]
+			if _, ok := ov[u]; ok {
+				continue
+			}
+			if !copied {
+				pre = sh.g.AppendSuccessors(u, nil)
+				g.cowBytes.Add(16 + 8*uint64(len(pre)))
+				copied = true
+			}
+			ov[u] = pre
+		}
+		sh.cowU, sh.cowGen = u, sh.viewGen
+		if len(part) == 1 {
+			return // single-op partitions cannot repeat a source node
+		}
+		if done == nil {
+			done = make(map[uint64]struct{}, len(part))
+		}
+		done[u] = struct{}{}
+	}
+}
+
+// dropView unregisters v from every shard. Pre-image capture stops as
+// soon as each shard's registry entry is gone.
+func (g *Graph) dropView(v *View) {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for j, w := range sh.views {
+			if w == v {
+				sh.views = append(sh.views[:j], sh.views[j+1:]...)
+				sh.viewGen++
+				break
+			}
+		}
+		sh.mu.Unlock()
+	}
+	g.liveViews.Add(-1)
+}
+
+// Epoch returns the snapshot epoch the view was stamped with.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Retain adds a reference to the view, so a second holder (an
+// analytics pass sharing a server's retained snapshot, say) can use it
+// while the first is free to Release at any time. Every Retain must be
+// paired with a Release. Retaining an already-released view panics.
+func (v *View) Retain() {
+	for {
+		n := v.refs.Load()
+		if n <= 0 {
+			panic("sharded: Retain of released View")
+		}
+		if v.refs.CompareAndSwap(n, n+1) {
+			return
+		}
+	}
+}
+
+// Release drops one reference. When the last holder releases, the
+// shards stop preserving pre-images for the view and the overlay maps
+// (plus every pre-image only this view pinned) become collectable the
+// moment the holders let go of v. Extra Releases beyond the reference
+// count are ignored; any read of a fully released view panics.
+func (v *View) Release() {
+	for {
+		n := v.refs.Load()
+		if n <= 0 {
+			return
+		}
+		if !v.refs.CompareAndSwap(n, n-1) {
+			continue
+		}
+		if n == 1 {
+			v.g.dropView(v)
+		}
+		return
+	}
+}
+
+func (v *View) check() {
+	if v.refs.Load() <= 0 {
+		panic("sharded: use of released View")
+	}
+}
+
+// NumEdges returns the number of distinct edges at the view's epoch.
+func (v *View) NumEdges() uint64 { v.check(); return v.edges }
+
+// NumNodes returns the number of distinct source nodes at the epoch.
+func (v *View) NumNodes() uint64 { v.check(); return v.nodes }
+
+// HasEdge reports whether ⟨u,w⟩ was stored at the view's epoch.
+func (v *View) HasEdge(u, w uint64) bool {
+	v.check()
+	si := v.g.shardIndex(u)
+	sh := &v.g.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if succ, ok := v.overlays[si][u]; ok {
+		for _, x := range succ {
+			if x == w {
+				return true
+			}
+		}
+		return false
+	}
+	return sh.g.HasEdge(u, w)
+}
+
+// ForEachSuccessor calls fn for each successor u had at the view's
+// epoch until fn returns false. Like the live graph's traversals, the
+// successors are resolved under the shard read lock and fn runs after
+// it is released, so fn may re-enter the graph or the view.
+func (v *View) ForEachSuccessor(u uint64, fn func(w uint64) bool) {
+	for _, w := range v.successorsShared(u) {
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+// Successors returns u's successors at the view's epoch as a fresh
+// slice the caller owns, matching the live graph's Successors.
+func (v *View) Successors(u uint64) []uint64 {
+	succ := v.successorsShared(u)
+	if len(succ) == 0 {
+		return nil
+	}
+	return append([]uint64(nil), succ...)
+}
+
+// successorsShared resolves u's successors, possibly aliasing the
+// frozen pre-image that every live view of u shares. Internal read
+// paths iterate it and must never mutate it — handing it to a caller
+// who might (the exported Successors) requires a copy.
+func (v *View) successorsShared(u uint64) []uint64 {
+	succ, _ := v.successorsInto(u, nil)
+	return succ
+}
+
+// successorsInto is successorsShared with a reusable scratch buffer for
+// the fall-through copy. fromOverlay tells the caller whether the
+// result aliases a shared frozen pre-image — which must never be
+// recycled as scratch, or the next append would clobber the pre-image
+// under every other live view.
+func (v *View) successorsInto(u uint64, scratch []uint64) (succ []uint64, fromOverlay bool) {
+	v.check()
+	si := v.g.shardIndex(u)
+	sh := &v.g.shards[si]
+	sh.mu.RLock()
+	succ, fromOverlay = v.overlays[si][u]
+	if !fromOverlay {
+		succ = sh.g.AppendSuccessors(u, scratch[:0])
+	}
+	sh.mu.RUnlock()
+	return succ, fromOverlay
+}
+
+// Degree returns u's out-degree at the view's epoch, without
+// materialising the successor list.
+func (v *View) Degree(u uint64) int {
+	v.check()
+	si := v.g.shardIndex(u)
+	sh := &v.g.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if succ, ok := v.overlays[si][u]; ok {
+		return len(succ)
+	}
+	n := 0
+	sh.g.ForEachSuccessor(u, func(uint64) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEachNode calls fn for every node that had at least one out-edge at
+// the view's epoch. Per shard, the frozen node set is resolved under
+// the read lock and fn runs unlocked.
+func (v *View) ForEachNode(fn func(u uint64) bool) {
+	v.check()
+	for si := range v.g.shards {
+		for _, u := range v.shardNodes(si) {
+			if !fn(u) {
+				return
+			}
+		}
+	}
+}
+
+// shardNodes resolves shard si's node set at the view's epoch: the live
+// nodes not overridden by the overlay, plus the overlaid nodes that
+// existed at the epoch (non-empty pre-image). Any node whose membership
+// changed after the epoch was necessarily mutated, hence overlaid, so
+// the merge is exact.
+func (v *View) shardNodes(si int) []uint64 {
+	sh := &v.g.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ov := v.overlays[si]
+	var nodes []uint64
+	sh.g.ForEachNode(func(u uint64) bool {
+		if _, overlaid := ov[u]; !overlaid {
+			nodes = append(nodes, u)
+		}
+		return true
+	})
+	for u, succ := range ov {
+		if len(succ) > 0 {
+			nodes = append(nodes, u)
+		}
+	}
+	return nodes
+}
+
+// MemoryUsage reports the bytes the view itself pins: its overlay
+// entries and frozen pre-images (the copy-on-write footprint), not the
+// live structure it aliases.
+func (v *View) MemoryUsage() uint64 {
+	v.check()
+	var total uint64
+	for si := range v.g.shards {
+		sh := &v.g.shards[si]
+		sh.mu.RLock()
+		for _, succ := range v.overlays[si] {
+			total += 16 + 8*uint64(len(succ))
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// InsertEdge panics: views are read-only.
+func (v *View) InsertEdge(u, w uint64) bool { panic("sharded: InsertEdge on read-only View") }
+
+// DeleteEdge panics: views are read-only.
+func (v *View) DeleteEdge(u, w uint64) bool { panic("sharded: DeleteEdge on read-only View") }
+
+// Save writes the view in the basic-variant snapshot format of
+// core.Graph.Save — the same bytes a Save of the live graph at the
+// view's epoch would have produced — without holding any shard lock
+// across the serialization. Checkpoint is built on this: the freeze
+// window covers only the WAL cut, and the (arbitrarily long) disk write
+// streams from the frozen view while writers proceed.
+func (v *View) Save(w io.Writer) error {
+	v.check()
+	return core.WriteBasicSnapshot(w, v.edges, func(emit func(u, x uint64) error) error {
+		var scratch []uint64
+		for si := range v.g.shards {
+			nodes := v.shardNodes(si)
+			// Deterministic output: a given epoch always serializes the
+			// same bytes, whatever the overlay iteration order.
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			for _, u := range nodes {
+				succ, fromOverlay := v.successorsInto(u, scratch)
+				if !fromOverlay {
+					scratch = succ // safe to recycle: it is our own buffer
+				}
+				for _, x := range succ {
+					if err := emit(u, x); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -75,12 +75,16 @@ func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (Repl
 // at the last intact record. A tear is recognised when the bad record
 // physically reaches end-of-file: the read hit EOF inside the record, a
 // complete-but-CRC-failing frame ends exactly at EOF (the final write's
-// bytes exist but lie), or the whole remaining region fits inside one
-// single-op frame. Damage followed by further intact data cannot be a
-// tear, so even on the newest segment it is reported as corruption
-// rather than silently dropping the acknowledged records after it.
-// Batch ops are validated whole before any of them is delivered: a
-// record never applies partially.
+// bytes exist but lie), the whole remaining region fits inside one
+// single-op frame, or everything after the failed record is zero bytes
+// — the residue of a filesystem that extended the file before the
+// data of a large (batch or group-commit) write landed; an all-zero
+// region cannot hold acknowledged records, because every record starts
+// with a nonzero length byte. Damage followed by further intact
+// (nonzero) data cannot be a tear, so even on the newest segment it is
+// reported as corruption rather than silently dropping the
+// acknowledged records after it. Batch ops are validated whole before
+// any of them is delivered: a record never applies partially.
 func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u, v uint64) error) (int64, uint64, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -132,44 +136,69 @@ func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u,
 		}
 		// bad classifies a failed record. frameEnd is the record's byte
 		// end when the whole frame was read, -1 when the failure struck
-		// earlier; truncated marks reads that hit EOF inside the record.
-		bad := func(frameEnd int64, truncated bool, detail string, cause error) (int64, uint64, uint64, error) {
-			if tolerateTail &&
-				(truncated || frameEnd == fileSize || fileSize-valid <= maxSingleFrame) {
-				return valid, records, batches, nil
+		// earlier; truncated marks reads that hit EOF inside the record;
+		// crcFailed marks the one failure mode that proves the frame's
+		// bytes never landed as written.
+		bad := func(frameEnd int64, truncated, crcFailed bool, detail string, cause error) (int64, uint64, uint64, error) {
+			if tolerateTail {
+				if truncated || frameEnd == fileSize || fileSize-valid <= maxSingleFrame {
+					return valid, records, batches, nil
+				}
+				// Large writes (batch records, group commits) tear big:
+				// when the filesystem extended the file but the data
+				// never landed, the tail past the failed frame is zeros,
+				// and zeros cannot encode an acknowledged record. The
+				// failed frame itself may be skipped over only when its
+				// CRC failed — a CRC-valid frame with a malformed body
+				// was durably written exactly as some writer intended,
+				// and silently dropping it would bury acknowledged data;
+				// without a CRC verdict the zero check must start at the
+				// record head, so any landed (nonzero) bytes refuse the
+				// tear.
+				from := valid
+				if crcFailed && frameEnd > 0 {
+					from = frameEnd
+				}
+				allZero, zerr := zeroToEOF(f, from, fileSize)
+				if zerr != nil {
+					return 0, 0, 0, fmt.Errorf("wal: classify tail of %s: %w", name, zerr)
+				}
+				if allZero {
+					return valid, records, batches, nil
+				}
 			}
 			return 0, 0, 0, corrupt(valid, detail, cause)
 		}
 		if err != nil {
-			return bad(-1, err == io.EOF || err == io.ErrUnexpectedEOF, "record length truncated", err)
+			return bad(-1, err == io.EOF || err == io.ErrUnexpectedEOF, false, "record length truncated", err)
 		}
 		if length == 0 || length > maxBatchPayload {
-			return bad(-1, false, fmt.Sprintf("implausible record length %d", length), nil)
+			return bad(-1, false, false, fmt.Sprintf("implausible record length %d", length), nil)
 		}
 		if int(length) > cap(payload) {
 			payload = make([]byte, length)
 		}
 		p := payload[:length]
 		if _, err := io.ReadFull(br, p); err != nil {
-			return bad(-1, true, "record payload truncated", err)
+			return bad(-1, true, false, "record payload truncated", err)
 		}
 		var crcb [crcSize]byte
 		if _, err := io.ReadFull(br, crcb[:]); err != nil {
-			return bad(-1, true, "record checksum truncated", err)
+			return bad(-1, true, false, "record checksum truncated", err)
 		}
 		frameEnd := valid + int64(n) + int64(length) + crcSize
 		if binary.LittleEndian.Uint32(crcb[:]) != crc32.Checksum(p, castagnoli) {
-			return bad(frameEnd, false, "checksum mismatch", nil)
+			return bad(frameEnd, false, true, "checksum mismatch", nil)
 		}
 		switch op := Op(p[0]); op {
 		case OpInsert, OpDelete:
 			u, un := core.Uvarint(p[1:])
 			if un <= 0 {
-				return bad(frameEnd, false, "bad u varint", nil)
+				return bad(frameEnd, false, false, "bad u varint", nil)
 			}
 			v, vn := core.Uvarint(p[1+un:])
 			if vn <= 0 || 1+un+vn != int(length) {
-				return bad(frameEnd, false, "bad v varint", nil)
+				return bad(frameEnd, false, false, "bad v varint", nil)
 			}
 			if fn != nil {
 				if err := fn(op, u, v); err != nil {
@@ -180,7 +209,7 @@ func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u,
 		case OpBatch:
 			ops, ok := decodeBatchPayload(p[1:], scratch[:0])
 			if !ok {
-				return bad(frameEnd, false, "malformed batch record", nil)
+				return bad(frameEnd, false, false, "malformed batch record", nil)
 			}
 			scratch = ops[:0]
 			if fn != nil {
@@ -193,10 +222,35 @@ func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u,
 			records += uint64(len(ops))
 			batches++
 		default:
-			return bad(frameEnd, false, fmt.Sprintf("unknown op %d", p[0]), nil)
+			return bad(frameEnd, false, false, fmt.Sprintf("unknown op %d", p[0]), nil)
 		}
 		valid = frameEnd
 	}
+}
+
+// zeroToEOF reports whether every byte of f in [from, end) is zero.
+// It reads through the file descriptor directly (ReadAt), independent
+// of the scanner's buffered position. An I/O failure is returned as an
+// error — a read that could not happen proves nothing about the bytes,
+// and must not be mistaken for a corruption verdict.
+func zeroToEOF(f *os.File, from, end int64) (bool, error) {
+	buf := make([]byte, 64<<10)
+	for off := from; off < end; {
+		n, err := f.ReadAt(buf[:min(int64(len(buf)), end-off)], off)
+		for _, b := range buf[:n] {
+			if b != 0 {
+				return false, nil
+			}
+		}
+		off += int64(n)
+		if err == io.EOF && off >= end {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	return true, nil
 }
 
 // decodeBatchPayload parses the body of an OpBatch record (everything

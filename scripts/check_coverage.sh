@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# check_coverage.sh <coverage-profile> [ratchet-file]
+#
+# Compares the total statement coverage of a Go cover profile against
+# the checked-in ratchet and fails if coverage regressed below it. When
+# coverage grows, raise the ratchet (leave ~2 points of headroom for
+# concurrency-dependent paths) so it can never silently slide back.
+set -euo pipefail
+
+profile="${1:?usage: check_coverage.sh <coverage-profile> [ratchet-file]}"
+ratchet_file="${2:-ci/coverage_ratchet.txt}"
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')
+min=$(tr -d '[:space:]' < "$ratchet_file")
+
+awk -v total="$total" -v min="$min" 'BEGIN {
+    if (total + 0 < min + 0) {
+        printf "FAIL: total coverage %.1f%% is below the ratchet %.1f%% (%s)\n", total, min, "'"$ratchet_file"'"
+        exit 1
+    }
+    printf "OK: total coverage %.1f%% >= ratchet %.1f%%\n", total, min
+}'

@@ -1,0 +1,53 @@
+package cuckoograph
+
+import "testing"
+
+func TestSafeGraphSnapshotTimeTravel(t *testing.T) {
+	g := NewSafe()
+	// Ring 0→1→…→99→0 at the first epoch.
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		g.InsertEdge(i, (i+1)%n)
+	}
+	v1 := g.Snapshot()
+	defer v1.Release()
+
+	// Cut the ring and splice in a detour; take a second view.
+	g.DeleteEdge(0, 1)
+	g.InsertEdge(0, 500)
+	g.InsertEdge(500, 1)
+	v2 := g.Snapshot()
+	defer v2.Release()
+	if v2.Epoch() <= v1.Epoch() {
+		t.Fatalf("epochs not monotonic: %d then %d", v1.Epoch(), v2.Epoch())
+	}
+
+	// Shred the live graph entirely; both views must hold their epochs.
+	for i := uint64(0); i < n; i++ {
+		g.DeleteEdge(i, (i+1)%n)
+	}
+	if got := len(v1.BFS(0)); got != n {
+		t.Fatalf("epoch-%d BFS reached %d nodes, want the full %d-ring", v1.Epoch(), got, n)
+	}
+	if got := len(v2.BFS(0)); got != n+1 {
+		t.Fatalf("epoch-%d BFS reached %d nodes, want %d (ring + detour)", v2.Epoch(), got, n+1)
+	}
+	if !v1.HasEdge(0, 1) || v2.HasEdge(0, 1) {
+		t.Fatalf("views disagree with their epochs on edge ⟨0,1⟩")
+	}
+	if v1.NumEdges() != n || v2.NumEdges() != n+1 {
+		t.Fatalf("view edge counts %d/%d, want %d/%d", v1.NumEdges(), v2.NumEdges(), n, n+1)
+	}
+	if deg := len(v2.Successors(0)); deg != 1 {
+		t.Fatalf("epoch-%d degree(0) = %d, want 1", v2.Epoch(), deg)
+	}
+	rank := v1.PageRank(10)
+	if len(rank) != n {
+		t.Fatalf("PageRank on frozen ring ranked %d nodes, want %d", len(rank), n)
+	}
+	// Only the detour survives on the live graph; the views archive the
+	// ring epochs.
+	if g.NumEdges() != 2 {
+		t.Fatalf("live graph has %d edges, want just the detour pair", g.NumEdges())
+	}
+}
