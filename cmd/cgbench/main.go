@@ -36,17 +36,38 @@ import (
 )
 
 var (
-	scale = flag.Uint64("scale", 64, "dataset scale divisor (1 = paper size)")
-	seed  = flag.Uint64("seed", 42, "workload seed")
+	scale   = flag.Uint64("scale", 64, "dataset scale divisor (1 = paper size)")
+	seed    = flag.Uint64("seed", 42, "workload seed")
+	jsonOut = flag.Bool("json", false, "also write BENCH_<workload>.json with machine-readable results")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] <table2|table3|table4|fig2..fig18|kicks|concurrent|parallel|durability|batchops|snapshot|all>")
+		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] [-json] <table2|table3|table4|fig2..fig18|kicks|readpath|concurrent|parallel|durability|batchops|snapshot|all>")
 		os.Exit(2)
 	}
 	run(flag.Arg(0))
+}
+
+// emitJSON writes the machine-readable result file for one workload
+// when -json is set: BENCH_<workload>.json in the working directory,
+// stamped with the git revision so the perf trajectory is attributable
+// across PRs.
+func emitJSON(workload string, rows []bench.JSONRow) {
+	if !*jsonOut {
+		return
+	}
+	path, err := bench.WriteJSONReport(".", bench.JSONReport{
+		Workload: workload,
+		Scale:    *scale,
+		Rows:     rows,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgbench: writing %s results: %v\n", workload, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func run(name string) {
@@ -86,6 +107,8 @@ func run(name string) {
 		fig18()
 	case "kicks":
 		kicks()
+	case "readpath":
+		readPath()
 	case "concurrent":
 		concurrent()
 	case "parallel":
@@ -99,7 +122,7 @@ func run(name string) {
 	case "all":
 		for _, n := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "concurrent", "parallel",
+			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "readpath", "concurrent", "parallel",
 			"durability", "batchops", "snapshot"} {
 			run(n)
 			fmt.Println()
@@ -415,6 +438,7 @@ func concurrent() {
 		New:  func() graphstore.Store { return sharded.New(sharded.Config{Shards: 16}) },
 	}
 	rows := [][]string{}
+	var jrows []bench.JSONRow
 	for _, w := range []int{1, 2, 4, 8} {
 		r := w / 2
 		lock := bench.ConcurrentOps(baseline, st, w, r)
@@ -425,10 +449,15 @@ func concurrent() {
 			bench.Ratio(shrd.WriteMops, lock.WriteMops),
 			fmt.Sprintf("%.3f", lock.ReadMops), fmt.Sprintf("%.3f", shrd.ReadMops),
 		})
+		jrows = append(jrows,
+			bench.MopsRow(fmt.Sprintf("sharded/w%d/write", w), shrd.WriteMops, 0),
+			bench.MopsRow(fmt.Sprintf("sharded/w%d/read", w), shrd.ReadMops, 0),
+		)
 	}
 	bench.PrintTable(os.Stdout,
 		[]string{"writers", "readers", "lock ins", "sharded ins", "speedup", "lock read", "sharded read"},
 		rows)
+	emitJSON("concurrent", jrows)
 }
 
 // parallelAnalytics measures the worker-pool BFS and PageRank against
@@ -513,6 +542,7 @@ func batchOps() {
 	}
 	single := results[0].Mops
 	rows := [][]string{}
+	var jrows []bench.JSONRow
 	for _, r := range results {
 		rows = append(rows, []string{
 			r.Label(),
@@ -521,9 +551,11 @@ func batchOps() {
 			fmt.Sprintf("%.3f", float64(r.WALBytes)/(1<<20)),
 			fmt.Sprintf("%.2f", r.BytesPerEdge),
 		})
+		jrows = append(jrows, bench.MopsRow(r.Label(), r.Mops, 0))
 	}
 	bench.PrintTable(os.Stdout,
 		[]string{"path", "insert Mops", "speedup", "WAL MB", "WAL B/edge"}, rows)
+	emitJSON("batchops", jrows)
 }
 
 // snapshot prices the epoch-based frozen views: the second half of the
@@ -553,6 +585,36 @@ func snapshot() {
 	bench.PrintTable(os.Stdout,
 		[]string{"live views", "ops", "writer Mops", "vs 0 views", "open latency", "CoW MB/1M ops"},
 		rows)
+}
+
+// readPath measures the pure query machinery — Lookup (HasEdge hit and
+// miss), Degree and ForEachSuccessor — on the three adjacency shapes of
+// §III-A1 (one inline slot, full inline slots, an S-CHT chain), plus
+// the allocation cost per read op, which must be zero.
+func readPath() {
+	fmt.Printf("== Read path: probe throughput per adjacency shape (scale 1/%d) ==\n", *scale)
+	nodes := int(1_048_576 / *scale)
+	results := bench.ReadPath(nodes, *seed)
+	rows := [][]string{}
+	var jrows []bench.JSONRow
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Shape, fmt.Sprintf("%d", r.Degree),
+			fmt.Sprintf("%.2f", r.LookupMops), fmt.Sprintf("%.2f", r.MissMops),
+			fmt.Sprintf("%.2f", r.DegreeMops), fmt.Sprintf("%.2f", r.ScanMeps),
+			fmt.Sprintf("%.3f/%.3f/%.3f/%.3f", r.LookupAllocs, r.MissAllocs, r.DegreeAllocs, r.ScanAllocs),
+		})
+		jrows = append(jrows,
+			bench.MopsRow(r.Shape+"/lookup", r.LookupMops, r.LookupAllocs),
+			bench.MopsRow(r.Shape+"/contains-miss", r.MissMops, r.MissAllocs),
+			bench.MopsRow(r.Shape+"/degree", r.DegreeMops, r.DegreeAllocs),
+			bench.MopsRow(r.Shape+"/scan", r.ScanMeps, r.ScanAllocs),
+		)
+	}
+	bench.PrintTable(os.Stdout,
+		[]string{"shape", "deg", "lookup Mops", "miss Mops", "degree Mops", "scan Meps", "allocs/op (lookup/miss/degree/scan)"},
+		rows)
+	emitJSON("readpath", jrows)
 }
 
 // kicks reproduces the §IV-A measurement: average insertions per item.

@@ -19,6 +19,26 @@
 // number of memory accesses, and space proportional to the number of
 // live edges — no resizing stalls, no pointer-chasing adjacency walks.
 //
+// # Probe path
+//
+// The cuckoo tables are probed with a vectorized, hash-once discipline.
+// Each operation hashes its key a single time into 64 bits (the
+// splitmix64 finaliser); every table of a chain derives its two bucket
+// indexes from that one value by remixing it with a per-table seed, so
+// a chain-wide probe costs one hash however many tables it touches.
+// Each cell carries a one-byte fingerprint tag derived from the same
+// hash (zero marks an empty cell), and a bucket's tags are packed into
+// a word stored immediately before the bucket's keys: a probe loads
+// the tag word, rejects non-matching cells with a SWAR broadcast-XOR
+// zero-byte scan, and verifies the surviving candidate against the
+// full stored key. Tags only pre-filter — the key compare decides — so
+// a tag collision costs one extra compare and can never produce a
+// wrong result; kicked cells carry their tag byte with them, and since
+// the tag is a pure function of the key's hash, merges re-derive the
+// identical tag when re-homing entries. The read path (HasEdge, Degree,
+// ForEachSuccessor, and the analytics iteration on top) performs zero
+// heap allocations per operation.
+//
 // # Quick start
 //
 //	g := cuckoograph.New()

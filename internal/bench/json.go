@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// JSONRow is one measured series of a workload in the machine-readable
+// results file: a named metric with its throughput, latency and
+// allocation cost. Fields that do not apply to a metric are zero.
+type JSONRow struct {
+	Name        string  `json:"name"`
+	Mops        float64 `json:"mops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// JSONReport is the schema of a BENCH_<workload>.json file. One file
+// per workload per run, overwritten in place, so committing the file
+// tracks the perf trajectory of that workload across PRs — CI uploads
+// the regenerated files as artifacts for comparison.
+type JSONReport struct {
+	Workload string    `json:"workload"`
+	GitRev   string    `json:"git_rev"`
+	Scale    uint64    `json:"scale"`
+	Rows     []JSONRow `json:"rows"`
+}
+
+// MopsRow builds a row from a Mops measurement, deriving ns/op.
+func MopsRow(name string, mops, allocsPerOp float64) JSONRow {
+	r := JSONRow{Name: name, Mops: mops, AllocsPerOp: allocsPerOp}
+	if mops > 0 {
+		r.NsPerOp = 1e3 / mops
+	}
+	return r
+}
+
+// GitRev returns the short hash of the checked-out revision — with a
+// "-dirty" suffix when the work tree has uncommitted changes, so a
+// report generated mid-development is never attributed to the clean
+// parent commit — or "unknown" outside a git work tree.
+func GitRev() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// WriteJSONReport writes the report to dir/BENCH_<workload>.json and
+// returns the path.
+func WriteJSONReport(dir string, r JSONReport) (string, error) {
+	if r.GitRev == "" {
+		r.GitRev = GitRev()
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Workload))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

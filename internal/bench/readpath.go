@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/hashutil"
+)
+
+// ReadPathResult is one row of the read-path workload: the throughput
+// of the pure query operations on nodes of one adjacency shape. The
+// three shapes cover the three places a successor can live (§III-A1):
+// a single inline slot, a full set of 2R inline slots, and an S-CHT
+// chain deep enough to span multiple tables.
+type ReadPathResult struct {
+	// Shape names the adjacency layout: "inline-1" (degree 1),
+	// "inline-2R" (inline slots full), "chained" (S-CHT chain).
+	Shape string
+	// Degree is the out-degree every node of the shape carries.
+	Degree int
+	// LookupMops is HasEdge throughput on present edges.
+	LookupMops float64
+	// MissMops is HasEdge throughput on absent edges (the
+	// duplicate-check path of every insert).
+	MissMops float64
+	// DegreeMops is Degree() throughput.
+	DegreeMops float64
+	// ScanMeps is ForEachSuccessor throughput in million edges
+	// visited per second.
+	ScanMeps float64
+	// LookupAllocs, MissAllocs, DegreeAllocs and ScanAllocs are heap
+	// allocations per operation on the respective paths; the read path
+	// pins all four at zero.
+	LookupAllocs float64
+	MissAllocs   float64
+	DegreeAllocs float64
+	ScanAllocs   float64
+}
+
+// readPathShapes defines the workload rows. chainedDegree forces every
+// node through the inline→chain transformation and several Grow steps
+// (degree 64 at SCHTBase 2 walks the Table II states).
+const (
+	readPathChainedDegree = 64
+	readPathOpsTarget     = 1 << 21
+)
+
+// ReadPath measures the pure query path of the core engine on three
+// adjacency shapes with `nodes` source nodes each. It is the
+// regression workload for the probe machinery: Lookup and Contains
+// bottom out in the cuckoo table find, Degree in the cell resolution,
+// and ForEachSuccessor in slot/table iteration.
+func ReadPath(nodes int, seed uint64) []ReadPathResult {
+	if nodes < 64 {
+		nodes = 64
+	}
+	cfg := core.Config{Seed: seed}.Defaults()
+	shapes := []struct {
+		name   string
+		degree int
+	}{
+		{"inline-1", 1},
+		{"inline-2R", 2 * cfg.R},
+		{"chained", readPathChainedDegree},
+	}
+	out := make([]ReadPathResult, 0, len(shapes))
+	for _, sh := range shapes {
+		out = append(out, readPathShape(sh.name, sh.degree, nodes, cfg))
+	}
+	return out
+}
+
+// readPathShape builds one graph where every node has exactly degree
+// successors and measures the query operations on it.
+func readPathShape(name string, degree, nodes int, cfg core.Config) ReadPathResult {
+	res := ReadPathResult{Shape: name, Degree: degree}
+	g := core.NewGraph(cfg)
+	// Node ids are spread by an RNG so the L-CHT sees a realistic key
+	// distribution rather than a dense range; successor ids are derived
+	// from the node id so present/absent probes need no lookup tables.
+	rng := hashutil.NewRNG(cfg.Seed | 1)
+	us := make([]uint64, nodes)
+	for i := range us {
+		us[i] = rng.Next() | 1 // non-zero
+		for j := 0; j < degree; j++ {
+			g.InsertEdge(us[i], succOf(us[i], j))
+		}
+	}
+
+	// Probe pairs: one present and one absent edge per node, probed
+	// round-robin so consecutive ops hit different cells (no
+	// single-cell cache residency).
+	rounds := readPathOpsTarget / nodes
+	if rounds < 1 {
+		rounds = 1
+	}
+	ops := rounds * nodes
+
+	res.LookupMops, res.LookupAllocs = readPathTimed(ops, func() {
+		for r := 0; r < rounds; r++ {
+			j := r % degree
+			for _, u := range us {
+				if !g.HasEdge(u, succOf(u, j)) {
+					panic("bench: present edge not found")
+				}
+			}
+		}
+	})
+	res.MissMops, res.MissAllocs = readPathTimed(ops, func() {
+		for r := 0; r < rounds; r++ {
+			for _, u := range us {
+				if g.HasEdge(u, missOf(u, r)) {
+					panic("bench: absent edge found")
+				}
+			}
+		}
+	})
+	res.DegreeMops, res.DegreeAllocs = readPathTimed(ops, func() {
+		for r := 0; r < rounds; r++ {
+			for _, u := range us {
+				if g.Degree(u) != degree {
+					panic("bench: wrong degree")
+				}
+			}
+		}
+	})
+
+	// Scan: every edge visited once per round; throughput in edges.
+	scanRounds := rounds/degree + 1
+	var visited int
+	scanMops, scanAllocs := readPathTimed(scanRounds*nodes*degree, func() {
+		for r := 0; r < scanRounds; r++ {
+			for _, u := range us {
+				g.ForEachSuccessor(u, func(uint64) bool {
+					visited++
+					return true
+				})
+			}
+		}
+	})
+	if visited != scanRounds*nodes*degree {
+		panic("bench: scan visited wrong edge count")
+	}
+	res.ScanMeps, res.ScanAllocs = scanMops, scanAllocs
+	return res
+}
+
+// succOf derives u's j-th successor; missOf derives ids guaranteed
+// absent (successors are even offsets from the odd base, misses odd).
+func succOf(u uint64, j int) uint64 { return u ^ (uint64(j+1) << 1) }
+func missOf(u uint64, r int) uint64 { return u + 2*uint64(r) + 1 + (1 << 40) }
+
+// readPathTimed runs fn once, returning Mops over ops and heap
+// allocations per op. Allocation counting uses the runtime's malloc
+// counter directly so the harness works outside `go test`; a handful
+// of background-runtime mallocs (GC workers, timers) can land inside
+// the window, so a small absolute count is reported as the zero it
+// represents — but anything beyond that bound is real and surfaces,
+// however many ops amortize it.
+func readPathTimed(ops int, fn func()) (mops, allocsPerOp float64) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	mallocs := m1.Mallocs - m0.Mallocs
+	if mallocs < 16 {
+		mallocs = 0
+	}
+	return Mops(ops, elapsed), float64(mallocs) / float64(ops)
+}

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"testing"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/hashutil"
+)
+
+func BenchmarkChainedLookup(b *testing.B) {
+	cfg := core.Config{Seed: 42}.Defaults()
+	g := core.NewGraph(cfg)
+	rng := hashutil.NewRNG(43)
+	n := 16384
+	us := make([]uint64, n)
+	for i := range us {
+		us[i] = rng.Next() | 1
+		for j := 0; j < 64; j++ {
+			g.InsertEdge(us[i], succOf(us[i], j))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := us[i%n]
+		if !g.HasEdge(u, succOf(u, i%64)) {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadPathShapes(t *testing.T) {
+	results := ReadPath(64, 7)
+	if len(results) != 3 {
+		t.Fatalf("got %d shapes, want 3", len(results))
+	}
+	wantDegrees := map[string]int{"inline-1": 1, "inline-2R": 6, "chained": readPathChainedDegree}
+	for _, r := range results {
+		if want, ok := wantDegrees[r.Shape]; !ok || r.Degree != want {
+			t.Fatalf("shape %q degree %d, want %d", r.Shape, r.Degree, want)
+		}
+		if r.LookupMops <= 0 || r.MissMops <= 0 || r.DegreeMops <= 0 || r.ScanMeps <= 0 {
+			t.Fatalf("shape %q has a non-positive throughput: %+v", r.Shape, r)
+		}
+		// The zero-allocation guarantee of the read path, measured
+		// through the harness's own malloc counter.
+		if r.LookupAllocs != 0 || r.MissAllocs != 0 || r.DegreeAllocs != 0 || r.ScanAllocs != 0 {
+			t.Fatalf("shape %q allocates on the read path: lookup %.3f miss %.3f degree %.3f scan %.3f",
+				r.Shape, r.LookupAllocs, r.MissAllocs, r.DegreeAllocs, r.ScanAllocs)
+		}
+	}
+}
+
+func TestWriteJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteJSONReport(dir, JSONReport{
+		Workload: "readpath",
+		Scale:    64,
+		Rows:     []JSONRow{MopsRow("chained/lookup", 8.0, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_readpath.json" {
+		t.Fatalf("path = %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "readpath" || rep.Scale != 64 || len(rep.Rows) != 1 {
+		t.Fatalf("roundtrip mismatch: %+v", rep)
+	}
+	if rep.Rows[0].NsPerOp != 125 { // 1e3 / 8 Mops
+		t.Fatalf("ns/op = %v, want 125", rep.Rows[0].NsPerOp)
+	}
+	if rep.GitRev == "" {
+		t.Fatal("git rev not stamped")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import "testing"
+
+// The engine read path — Contains/HasEdge, Degree, ForEachSuccessor —
+// must be allocation-free end to end, on inline cells and on S-CHT
+// chains alike. These regression tests pin it with AllocsPerRun.
+
+// buildReadGraph returns a graph with one inline node (degree 1), one
+// full-inline node (degree 2R) and one chained node (degree 64).
+func buildReadGraph(t *testing.T) (g *Graph, inline1, inline2R, chained uint64) {
+	t.Helper()
+	g = NewGraph(Config{})
+	inline1, inline2R, chained = 101, 202, 303
+	g.InsertEdge(inline1, 1)
+	for v := uint64(1); v <= uint64(2*g.e.cfg.R); v++ {
+		g.InsertEdge(inline2R, v)
+	}
+	for v := uint64(1); v <= 64; v++ {
+		g.InsertEdge(chained, v)
+	}
+	if st := g.Stats(); st.Chains != 1 {
+		t.Fatalf("expected exactly one chained node, got %d", st.Chains)
+	}
+	return g, inline1, inline2R, chained
+}
+
+func TestHasEdgeZeroAlloc(t *testing.T) {
+	g, inline1, inline2R, chained := buildReadGraph(t)
+	if n := testing.AllocsPerRun(200, func() {
+		if !g.HasEdge(inline1, 1) || !g.HasEdge(inline2R, 2) || !g.HasEdge(chained, 33) {
+			t.Fatal("present edge missing")
+		}
+		if g.HasEdge(chained, 1<<40) || g.HasEdge(9999, 1) {
+			t.Fatal("phantom edge")
+		}
+	}); n != 0 {
+		t.Fatalf("HasEdge allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestDegreeZeroAlloc(t *testing.T) {
+	g, inline1, inline2R, chained := buildReadGraph(t)
+	if n := testing.AllocsPerRun(200, func() {
+		if g.Degree(inline1) != 1 || g.Degree(inline2R) != 2*g.e.cfg.R || g.Degree(chained) != 64 {
+			t.Fatal("wrong degree")
+		}
+		if g.Degree(9999) != 0 {
+			t.Fatal("phantom degree")
+		}
+	}); n != 0 {
+		t.Fatalf("Degree allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestForEachSuccessorZeroAlloc(t *testing.T) {
+	g, inline1, inline2R, chained := buildReadGraph(t)
+	var count int
+	if n := testing.AllocsPerRun(100, func() {
+		for _, u := range [...]uint64{inline1, inline2R, chained} {
+			count = 0
+			g.ForEachSuccessor(u, func(uint64) bool {
+				count++
+				return true
+			})
+		}
+	}); n != 0 {
+		t.Fatalf("ForEachSuccessor allocates %.1f/run, want 0", n)
+	}
+	if count != 64 {
+		t.Fatalf("chained scan visited %d, want 64", count)
+	}
+}
+
+func TestWeightedForEachSuccessorZeroAlloc(t *testing.T) {
+	w := NewWeighted(Config{})
+	u := uint64(7)
+	for v := uint64(1); v <= 64; v++ {
+		w.InsertEdge(u, v)
+		w.InsertEdge(u, v) // weight 2
+	}
+	var sum uint64
+	if n := testing.AllocsPerRun(100, func() {
+		sum = 0
+		w.ForEachSuccessor(u, func(_, weight uint64) bool {
+			sum += weight
+			return true
+		})
+	}); n != 0 {
+		t.Fatalf("Weighted.ForEachSuccessor allocates %.1f/run, want 0", n)
+	}
+	if sum != 128 {
+		t.Fatalf("weight sum = %d, want 128", sum)
+	}
+	if w.Degree(u) != 64 {
+		t.Fatalf("Degree = %d, want 64", w.Degree(u))
+	}
+}
+
+// TestMemoryUsageCountsTagBytes pins the §IV space accounting of the
+// fingerprint-tag layout: every cell costs 8 B of Part 1 plus its
+// payload plus exactly 1 B of tag (the tag replaced the retired
+// occupancy byte, so the space model is unchanged), and the total is
+// reconstructable from Stats.
+func TestMemoryUsageCountsTagBytes(t *testing.T) {
+	g := NewGraph(Config{})
+	st := g.Stats()
+	if st.Chains != 0 || st.LDLLen != 0 || st.SDLLen != 0 {
+		t.Fatal("fresh graph not empty")
+	}
+	part2Bytes := 2 * g.e.cfg.R * 8
+	perCell := uint64(8 + part2Bytes + 1) // key + Part 2 + tag byte
+	// Chain.MemoryBytes adds a 64 B header and an 8 B slot per table.
+	want := uint64(st.LCHTCells)*perCell + uint64(st.LCHTTables)*(64+8)
+	if got := g.MemoryUsage(); got != want {
+		t.Fatalf("MemoryUsage = %d, want %d (cells %d × %d + headers)", got, want, st.LCHTCells, perCell)
+	}
+}

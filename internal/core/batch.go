@@ -14,6 +14,8 @@ package core
 // op by op, and what makes the batch/single equivalence property
 // testable at the level of full structural Stats.
 
+import "cuckoograph/internal/hashutil"
+
 // OpKind says what a mutation op does. The values are stable: the WAL's
 // on-disk batch records and the wire protocol reuse them.
 type OpKind uint8
@@ -162,11 +164,15 @@ func (e *engine[W]) applyBatchCached(b Batch, one W, onDup, onDel func(*W) bool,
 	)
 	for _, op := range b {
 		var p *part2[W]
-		idx := (op.U * 0x9E3779B97F4A7C15) >> (64 - batchCacheBits)
+		// One Key64 per op serves both the cache index (top bits) and,
+		// on a miss, the L-CHT probe itself — the hash is never
+		// recomputed downstream.
+		hu := hashutil.Key64(op.U)
+		idx := hu >> (64 - batchCacheBits)
 		if cached[idx] && cacheU[idx] == op.U {
 			p = cacheP[idx]
 		} else {
-			p = e.findPart2(op.U)
+			p = e.findPart2Hashed(hu, op.U)
 			cacheU[idx], cacheP[idx], cached[idx] = op.U, p, true
 		}
 		if e.applyOp(op, p, one, onDup, onDel, onApplied, &res) {

@@ -1,6 +1,9 @@
 package core
 
-import "cuckoograph/internal/cuckoo"
+import (
+	"cuckoograph/internal/cuckoo"
+	"cuckoograph/internal/hashutil"
+)
 
 // slot is one neighbour record: the end node v plus the variant's
 // per-edge payload (nothing for the basic version, a weight for the
@@ -46,6 +49,11 @@ type engine[W any] struct {
 	nodes uint64
 	edges uint64
 
+	// drainBuf is the reusable scratch of chain collapses: dismantling
+	// an S-CHT back to inline slots drains into it instead of
+	// allocating a fresh []Entry per reverse transformation.
+	drainBuf []cuckoo.Entry[W]
+
 	// Retired statistics from collapsed chains (reverse transformation
 	// back to inline slots discards the chain object).
 	schtKicksRetired      uint64
@@ -68,9 +76,16 @@ func (e *engine[W]) newChainSeed() uint64 {
 }
 
 // findPart2 locates u's cell in the L-CHT chain or the L-DL (query
-// Step 1 of §III-A3).
+// Step 1 of §III-A3), hashing u once.
 func (e *engine[W]) findPart2(u uint64) *part2[W] {
-	if p := e.lcht.Ref(u); p != nil {
+	return e.findPart2Hashed(hashutil.Key64(u), u)
+}
+
+// findPart2Hashed is findPart2 with u's hash already computed — the
+// batch path derives its cell-cache index from the same hash, so one
+// Key64 serves both the cache probe and the L-CHT probe.
+func (e *engine[W]) findPart2Hashed(hu, u uint64) *part2[W] {
+	if p := e.lcht.RefHashed(hu, u); p != nil {
 		return p
 	}
 	for i := range e.ldl {
@@ -290,11 +305,12 @@ func (e *engine[W]) deleteAt(u, v uint64, p *part2[W]) (W, bool, bool) {
 		return zero, false, false
 	}
 	if p.chain != nil {
-		w, ok := p.chain.Lookup(v)
+		hv := hashutil.Key64(v)
+		w, ok := p.chain.LookupHashed(hv, v)
 		if !ok {
 			return zero, false, false
 		}
-		leftovers, _ := p.chain.Delete(v)
+		leftovers, _ := p.chain.DeleteHashed(hv, v)
 		for _, lo := range leftovers {
 			e.sdl = append(e.sdl, sdlEntry[W]{u: u, s: slot[W]{v: lo.Key, w: lo.Val}})
 		}
@@ -328,12 +344,19 @@ func (e *engine[W]) maybeCollapse(u uint64, p *part2[W]) bool {
 	}
 	e.schtKicksRetired += p.chain.Kicks()
 	e.schtPlacementsRetired += p.chain.Placements()
-	entries := p.chain.Drain()
+	// Drain through the engine's reusable buffer: collapsing a chain
+	// back to inline slots allocates only the inline slice itself.
+	e.drainBuf = p.chain.DrainInto(e.drainBuf[:0])
 	p.chain = nil
 	p.inline = make([]slot[W], 0, e.inlineCap)
-	for _, en := range entries {
+	for _, en := range e.drainBuf {
 		p.inline = append(p.inline, slot[W]{v: en.Key, w: en.Val})
 	}
+	// Drop the drained payload copies so the buffer pins nothing
+	// between collapses (the tail beyond len is already zero: every
+	// release leaves the buffer zeroed and refills append from empty).
+	clear(e.drainBuf)
+	e.drainBuf = e.drainBuf[:0]
 	e.fillInlineFromSDL(u, p)
 	if len(p.inline) == 0 {
 		e.removeNode(u)
@@ -377,20 +400,13 @@ func (e *engine[W]) removeNode(u uint64) {
 	}
 }
 
-// forEachSuccessor visits every stored neighbour of u.
+// forEachSuccessor visits every stored neighbour of u. The chain case
+// hands fn straight to ForEachRef — no per-entry payload copy, no
+// adapter closure — keeping the whole iteration allocation-free.
 func (e *engine[W]) forEachSuccessor(u uint64, fn func(v uint64, w *W) bool) {
 	if p := e.findPart2(u); p != nil {
 		if p.chain != nil {
-			stop := false
-			p.chain.ForEach(func(k uint64, w W) bool {
-				w2 := w
-				if !fn(k, &w2) {
-					stop = true
-					return false
-				}
-				return true
-			})
-			if stop {
+			if !p.chain.ForEachRef(fn) {
 				return
 			}
 		} else {
@@ -408,6 +424,26 @@ func (e *engine[W]) forEachSuccessor(u uint64, fn func(v uint64, w *W) bool) {
 			}
 		}
 	}
+}
+
+// degree counts u's neighbours without iterating them: inline slots and
+// S-CHT chains both track their population, so only parked S-DL pairs
+// need a scan. O(R + |S-DL|) instead of O(degree).
+func (e *engine[W]) degree(u uint64) int {
+	n := 0
+	if p := e.findPart2(u); p != nil {
+		if p.chain != nil {
+			n = p.chain.Size()
+		} else {
+			n = len(p.inline)
+		}
+	}
+	for i := range e.sdl {
+		if e.sdl[i].u == u {
+			n++
+		}
+	}
+	return n
 }
 
 // forEachNode visits every stored source node u.

@@ -65,6 +65,10 @@ func (g *Graph) AppendSuccessors(u uint64, dst []uint64) []uint64 {
 	return dst
 }
 
+// Degree returns u's out-degree without iterating the adjacency:
+// inline slots and S-CHT chains track their population directly.
+func (g *Graph) Degree(u uint64) int { return g.e.degree(u) }
+
 // ForEachNode calls fn for every node with at least one out-edge.
 func (g *Graph) ForEachNode(fn func(u uint64) bool) { g.e.forEachNode(fn) }
 
@@ -157,6 +161,10 @@ func (w *Weighted) DeleteAll(u, v uint64) bool {
 func (w *Weighted) ForEachSuccessor(u uint64, fn func(v, weight uint64) bool) {
 	w.e.forEachSuccessor(u, func(v uint64, p *uint64) bool { return fn(v, *p) })
 }
+
+// Degree returns u's out-degree (distinct successors) without
+// iterating the adjacency.
+func (w *Weighted) Degree(u uint64) int { return w.e.degree(u) }
 
 // ForEachNode calls fn for every node with at least one out-edge.
 func (w *Weighted) ForEachNode(fn func(u uint64) bool) { w.e.forEachNode(fn) }

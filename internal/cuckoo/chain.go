@@ -1,5 +1,7 @@
 package cuckoo
 
+import "cuckoograph/internal/hashutil"
+
 // Chain is a sequence of cuckoo tables managed by the paper's
 // TRANSFORMATION technique (§III-A1, Table II). The first table ("1st
 // S-CHT") is the largest; later tables are enabled as the loading rate of
@@ -9,12 +11,29 @@ package cuckoo
 // the overall loading rate below Λ.
 //
 // A Chain backs both every per-node S-CHT chain and the L-CHT itself.
+//
+// Probing is hash-once: an operation computes hashutil.Key64(key) a
+// single time and every table in the chain derives its buckets from
+// that one value (mixed with the table's private seed), so a chain-wide
+// lookup costs one hash however many tables — at most R, two buckets
+// each — it has to touch (the bounded memory-access guarantee of §V-D's
+// analysis). The *Hashed variants let callers that already hold the
+// hash (the engine's batch path) skip even that one computation.
 type Chain[P any] struct {
 	cfg    Config
 	base   int // n: the length of the 1st S-CHT at state 0
 	tables []*Table[P]
 	seed   uint64
 	grows  int // number of Grow transformations applied (Table II row)
+
+	// scratch is the reusable drain buffer of the transformation loops:
+	// merges and contractions drain tables into it instead of
+	// allocating a fresh []Entry per restructure. Only valid inside one
+	// transformation; releaseScratch zeroes it afterwards so the
+	// retained Entry payloads (for the L-CHT: whole part2 values
+	// holding adjacency arrays and chain pointers) don't pin memory
+	// between restructures.
+	scratch []Entry[P]
 
 	kicksRetired  uint64 // kicks recorded in tables since merged or removed
 	placements    uint64 // successful cell placements, incl. re-homing moves
@@ -51,8 +70,8 @@ func (c *Chain[P]) Tables() int { return len(c.tables) }
 // follows Table II of the paper, which the test suite verifies.
 func (c *Chain[P]) Lengths() []int {
 	out := make([]int, len(c.tables))
-	for i, t := range c.tables {
-		out[i] = t.Len()
+	for i := range c.tables {
+		out[i] = c.tables[i].Len()
 	}
 	return out
 }
@@ -64,8 +83,8 @@ func (c *Chain[P]) Grows() int { return c.grows }
 // Size returns the total number of stored entries.
 func (c *Chain[P]) Size() int {
 	n := 0
-	for _, t := range c.tables {
-		n += t.Size()
+	for i := range c.tables {
+		n += c.tables[i].Size()
 	}
 	return n
 }
@@ -73,8 +92,8 @@ func (c *Chain[P]) Size() int {
 // Cells returns the total cells across the chain.
 func (c *Chain[P]) Cells() int {
 	n := 0
-	for _, t := range c.tables {
-		n += t.Cells()
+	for i := range c.tables {
+		n += c.tables[i].Cells()
 	}
 	return n
 }
@@ -90,8 +109,8 @@ func (c *Chain[P]) OverallLoadRate() float64 {
 // per item" measurement (§IV-A).
 func (c *Chain[P]) Kicks() uint64 {
 	n := c.kicksRetired
-	for _, t := range c.tables {
-		n += t.Kicks()
+	for i := range c.tables {
+		n += c.tables[i].Kicks()
 	}
 	return n
 }
@@ -104,12 +123,17 @@ func (c *Chain[P]) Placements() uint64 { return c.placements }
 // the chain has performed.
 func (c *Chain[P]) Transformations() uint64 { return c.transformBeat }
 
-// Lookup probes every table in the chain (at most R tables, two buckets
-// each — the bounded memory-access guarantee of §V-D's analysis).
+// Lookup probes every table in the chain with one shared hash.
 func (c *Chain[P]) Lookup(key uint64) (P, bool) {
-	for _, t := range c.tables {
-		if v, ok := t.Lookup(key); ok {
-			return v, true
+	return c.LookupHashed(hashutil.Key64(key), key)
+}
+
+// LookupHashed is Lookup with the key's hash already computed.
+func (c *Chain[P]) LookupHashed(h, key uint64) (P, bool) {
+	for i := range c.tables {
+		t := c.tables[i]
+		if j := t.findHashed(h, key); j >= 0 {
+			return t.vals[j], true
 		}
 	}
 	var zero P
@@ -118,9 +142,15 @@ func (c *Chain[P]) Lookup(key uint64) (P, bool) {
 
 // Ref returns a mutable pointer to key's payload, or nil.
 func (c *Chain[P]) Ref(key uint64) *P {
-	for _, t := range c.tables {
-		if p := t.Ref(key); p != nil {
-			return p
+	return c.RefHashed(hashutil.Key64(key), key)
+}
+
+// RefHashed is Ref with the key's hash already computed.
+func (c *Chain[P]) RefHashed(h, key uint64) *P {
+	for i := range c.tables {
+		t := c.tables[i]
+		if j := t.findHashed(h, key); j >= 0 {
+			return &t.vals[j]
 		}
 	}
 	return nil
@@ -128,8 +158,13 @@ func (c *Chain[P]) Ref(key uint64) *P {
 
 // Contains reports whether key is stored anywhere in the chain.
 func (c *Chain[P]) Contains(key uint64) bool {
-	for _, t := range c.tables {
-		if t.Contains(key) {
+	return c.ContainsHashed(hashutil.Key64(key), key)
+}
+
+// ContainsHashed is Contains with the key's hash already computed.
+func (c *Chain[P]) ContainsHashed(h, key uint64) bool {
+	for i := range c.tables {
+		if c.tables[i].findHashed(h, key) >= 0 {
 			return true
 		}
 	}
@@ -141,8 +176,7 @@ func (c *Chain[P]) Contains(key uint64) bool {
 // "if the growing l causes the LR of the S-CHT to reach the preset
 // threshold G before the current v arrives").
 func (c *Chain[P]) NeedsGrow() bool {
-	active := c.tables[len(c.tables)-1]
-	return active.LoadRate() >= c.cfg.G
+	return c.tables[len(c.tables)-1].LoadRate() >= c.cfg.G
 }
 
 // Grow applies one step of the transformation rule:
@@ -171,34 +205,57 @@ func (c *Chain[P]) Grow() (leftovers []Entry[P]) {
 		return nil
 	}
 	merged := c.newTable(c.tables[0].Len() * 2)
-	for _, t := range c.tables {
+	for i := range c.tables {
+		t := c.tables[i]
 		c.kicksRetired += t.Kicks()
-		for _, e := range t.Drain() {
+		// Drain into the chain's reusable scratch buffer — a merge no
+		// longer allocates a fresh slice per source table.
+		c.scratch = t.DrainInto(c.scratch[:0])
+		for _, e := range c.scratch {
 			if lo, ok := merged.Insert(e.Key, e.Val); !ok {
 				leftovers = append(leftovers, lo)
 			} else {
 				c.placements++
 			}
 		}
+		// Release per table, not once after the loop: the first table
+		// is the largest, so a later, shorter fill would otherwise
+		// strand its tail entries past the final release's len.
+		c.releaseScratch()
 	}
 	c.tables = []*Table[P]{merged, c.newTable(merged.Len() / 2)}
 	return leftovers
 }
 
-// Insert stores ⟨key,val⟩, growing the chain first if the active table
-// is at threshold. grew reports whether a transformation ran (the caller
-// drains its denylist into the chain when it did). Every entry left
-// homeless — whether the argument pair after kicking, or spill from a
-// merge — is returned in leftovers for the caller's denylist; an empty
-// slice means complete success. The caller must ensure key is not
-// already present in the chain.
+// releaseScratch zeroes the drain buffer's live entries and resets its
+// length, keeping the allocation but dropping every payload it pinned.
+// The tail beyond len is already zero — every release leaves the whole
+// buffer zeroed and refills only append from an empty slice — so O(len)
+// suffices, not O(high-water capacity).
+func (c *Chain[P]) releaseScratch() {
+	clear(c.scratch)
+	c.scratch = c.scratch[:0]
+}
+
+// Insert stores ⟨key,val⟩, hashing the key itself. See InsertHashed.
 func (c *Chain[P]) Insert(key uint64, val P) (leftovers []Entry[P], grew bool) {
+	return c.InsertHashed(hashutil.Key64(key), key, val)
+}
+
+// InsertHashed stores ⟨key,val⟩ (h is the key's Key64 hash), growing
+// the chain first if the active table is at threshold. grew reports
+// whether a transformation ran (the caller drains its denylist into the
+// chain when it did). Every entry left homeless — whether the argument
+// pair after kicking, or spill from a merge — is returned in leftovers
+// for the caller's denylist; an empty slice means complete success. The
+// caller must ensure key is not already present in the chain.
+func (c *Chain[P]) InsertHashed(h, key uint64, val P) (leftovers []Entry[P], grew bool) {
 	if c.NeedsGrow() {
 		leftovers = c.Grow()
 		grew = true
 	}
 	active := c.tables[len(c.tables)-1]
-	if lo, ok := active.Insert(key, val); !ok {
+	if lo, ok := active.InsertHashed(h, key, val); !ok {
 		leftovers = append(leftovers, lo)
 	} else {
 		c.placements++
@@ -206,16 +263,21 @@ func (c *Chain[P]) Insert(key uint64, val P) (leftovers []Entry[P], grew bool) {
 	return leftovers, grew
 }
 
-// Delete removes key and applies reverse transformation (§III-A1) when
-// the overall LR drops below Λ: with two or more tables the table that
-// held the key is removed and its residents transferred to the others;
-// with a single table longer than the base length, the table is rebuilt
-// at half length. Leftovers that cannot be re-homed are returned for the
-// caller's denylist.
+// Delete removes key, hashing the key itself. See DeleteHashed.
 func (c *Chain[P]) Delete(key uint64) (leftovers []Entry[P], deleted bool) {
+	return c.DeleteHashed(hashutil.Key64(key), key)
+}
+
+// DeleteHashed removes key (h is its Key64 hash) and applies reverse
+// transformation (§III-A1) when the overall LR drops below Λ: with two
+// or more tables the table that held the key is removed and its
+// residents transferred to the others; with a single table longer than
+// the base length, the table is rebuilt at half length. Leftovers that
+// cannot be re-homed are returned for the caller's denylist.
+func (c *Chain[P]) DeleteHashed(h, key uint64) (leftovers []Entry[P], deleted bool) {
 	idx := -1
-	for i, t := range c.tables {
-		if t.Delete(key) {
+	for i := range c.tables {
+		if c.tables[i].DeleteHashed(h, key) {
 			idx = i
 			break
 		}
@@ -227,6 +289,8 @@ func (c *Chain[P]) Delete(key uint64) (leftovers []Entry[P], deleted bool) {
 		return nil, true
 	}
 	if len(c.tables) > 1 {
+		// The victim table value keeps its backing arrays alive after
+		// the element is shifted out of the tables slice.
 		victim := c.tables[idx]
 		// Contract only if the surviving tables can absorb the victim's
 		// residents below the expansion threshold; otherwise deleting the
@@ -239,11 +303,13 @@ func (c *Chain[P]) Delete(key uint64) (leftovers []Entry[P], deleted bool) {
 		c.transformBeat++
 		c.tables = append(c.tables[:idx], c.tables[idx+1:]...)
 		c.kicksRetired += victim.Kicks()
-		for _, e := range victim.Drain() {
+		c.scratch = victim.DrainInto(c.scratch[:0])
+		for _, e := range c.scratch {
 			if lo, ok := c.rehome(e); !ok {
 				leftovers = append(leftovers, lo)
 			}
 		}
+		c.releaseScratch()
 		return leftovers, true
 	}
 	if c.tables[0].Len() > c.base {
@@ -255,11 +321,13 @@ func (c *Chain[P]) Delete(key uint64) (leftovers []Entry[P], deleted bool) {
 		c.transformBeat++
 		c.tables[0] = c.newTable(old.Len() / 2)
 		c.kicksRetired += old.Kicks()
-		for _, e := range old.Drain() {
+		c.scratch = old.DrainInto(c.scratch[:0])
+		for _, e := range c.scratch {
 			if lo, ok := c.rehome(e); !ok {
 				leftovers = append(leftovers, lo)
 			}
 		}
+		c.releaseScratch()
 	}
 	return leftovers, true
 }
@@ -270,8 +338,8 @@ func (c *Chain[P]) Delete(key uint64) (leftovers []Entry[P], deleted bool) {
 // on total failure that final homeless entry is returned.
 func (c *Chain[P]) rehome(e Entry[P]) (Entry[P], bool) {
 	best := -1
-	for i, t := range c.tables {
-		if best < 0 || t.LoadRate() < c.tables[best].LoadRate() {
+	for i := range c.tables {
+		if best < 0 || c.tables[i].LoadRate() < c.tables[best].LoadRate() {
 			best = i
 		}
 	}
@@ -290,39 +358,48 @@ func (c *Chain[P]) rehome(e Entry[P]) (Entry[P], bool) {
 
 // ForEach calls fn for every entry in the chain until fn returns false.
 func (c *Chain[P]) ForEach(fn func(key uint64, val P) bool) {
-	for _, t := range c.tables {
-		stop := false
-		t.ForEach(func(k uint64, v P) bool {
-			if !fn(k, v) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if stop {
-			return
+	c.ForEachRef(func(key uint64, val *P) bool { return fn(key, *val) })
+}
+
+// ForEachRef calls fn for every entry with a pointer to its payload in
+// place — the allocation-free iteration of the read path — until fn
+// returns false. It reports whether the scan ran to completion. The
+// pointers are valid only during the call.
+func (c *Chain[P]) ForEachRef(fn func(key uint64, val *P) bool) bool {
+	for i := range c.tables {
+		if !c.tables[i].ForEachRef(fn) {
+			return false
 		}
 	}
+	return true
 }
 
 // Drain removes and returns every entry in the chain, resetting it to a
 // single base-length table.
 func (c *Chain[P]) Drain() []Entry[P] {
-	var out []Entry[P]
-	for _, t := range c.tables {
-		c.kicksRetired += t.Kicks()
-		out = append(out, t.Drain()...)
+	return c.DrainInto(nil)
+}
+
+// DrainInto removes every entry in the chain, appending them to buf,
+// and resets the chain to a single base-length table. Callers that
+// restructure repeatedly (the engine's chain collapse) pass a reusable
+// buffer to keep the transformation allocation-free.
+func (c *Chain[P]) DrainInto(buf []Entry[P]) []Entry[P] {
+	for i := range c.tables {
+		c.kicksRetired += c.tables[i].Kicks()
+		buf = c.tables[i].DrainInto(buf)
 	}
 	c.tables = []*Table[P]{c.newTable(c.base)}
 	c.grows = 0
-	return out
+	return buf
 }
 
 // MemoryBytes sums the structural bytes of all tables in the chain.
 func (c *Chain[P]) MemoryBytes(payloadBytes int) uint64 {
 	var n uint64
-	for _, t := range c.tables {
-		n += t.MemoryBytes(payloadBytes)
+	for i := range c.tables {
+		n += c.tables[i].MemoryBytes(payloadBytes)
 	}
-	return n + uint64(len(c.tables))*8 // one pointer word per table
+	// One header word per table for the chain's table array slot.
+	return n + uint64(len(c.tables))*8
 }

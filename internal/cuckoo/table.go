@@ -6,9 +6,30 @@
 // The table is generic over its payload so the same machinery backs both
 // the L-CHT (payload: a cell's Part 2) and the S-CHTs (payload: a weight
 // or edge list).
+//
+// # Probe path
+//
+// Every operation hashes its key ONCE with hashutil.Key64 into a 64-bit
+// value h; a whole chain probes all of its tables with that same h, each
+// table deriving its two bucket indexes by remixing h with its private
+// seed (see remix). Alongside the keys, each cell carries a one-byte
+// fingerprint tag derived from h (tagOf; 0 marks an empty cell), and a
+// bucket's d tags are packed into word(s) stored IMMEDIATELY BEFORE the
+// bucket's keys in one flat array — so a probe loads the tag word,
+// rejects all non-matching cells with a broadcast-XOR SWAR scan, and
+// the key it then has to verify sits in the adjacent cache line the
+// hardware prefetcher has already pulled in. Tag equality is only a
+// pre-filter — the full 8-byte key compare still decides every match,
+// so a tag collision costs one extra compare and can never produce a
+// wrong result. Tags travel with their cells through kick loops, so
+// relocations never recompute them.
 package cuckoo
 
-import "cuckoograph/internal/hashutil"
+import (
+	"math/bits"
+
+	"cuckoograph/internal/hashutil"
+)
 
 // Config carries the tuning parameters shared by every table in a chain.
 // Zero fields are replaced by the paper's defaults (§V-B).
@@ -59,13 +80,19 @@ type Table[P any] struct {
 
 	m1, m2 int // bucket counts of array 1 and array 2 (m1 = 2*m2)
 
-	seed1, seed2 uint32
+	tw     int // tag words per bucket: ⌈d/8⌉
+	stride int // words per bucket: tw + d
 
-	// Flat cell storage: arrays 1 and 2 concatenated. Cell c of bucket b
-	// in array 1 lives at b*d+c; array 2 starts at m1*d.
-	keys []uint64
-	vals []P
-	occ  []bool
+	seed uint64 // per-table mix for deriving bucket indexes from Key64
+
+	// cells is the interleaved bucket storage, arrays 1 and 2
+	// concatenated: bucket b occupies words [b*stride, (b+1)*stride) —
+	// tw fingerprint-tag words (8 one-byte tags per word, 0 = empty
+	// cell, unused high lanes of a partial word stay 0) followed by d
+	// key words. vals is indexed by flat cell number b*d + c, the cell
+	// index every exported method speaks.
+	cells []uint64
+	vals  []P
 
 	size  int
 	rng   *hashutil.RNG
@@ -88,14 +115,14 @@ func NewTable[P any](length int, cfg Config) *Table[P] {
 		maxKicks: cfg.MaxKicks,
 		m1:       length,
 		m2:       length / 2,
-		seed1:    rng.Uint32() | 1,
-		seed2:    rng.Uint32() | 1,
+		tw:       (cfg.D + 7) / 8,
+		seed:     rng.Next(),
 		rng:      rng,
 	}
-	cells := (t.m1 + t.m2) * t.d
-	t.keys = make([]uint64, cells)
-	t.vals = make([]P, cells)
-	t.occ = make([]bool, cells)
+	t.stride = t.tw + t.d
+	buckets := t.m1 + t.m2
+	t.cells = make([]uint64, buckets*t.stride)
+	t.vals = make([]P, buckets*t.d)
 	return t
 }
 
@@ -116,39 +143,163 @@ func (t *Table[P]) LoadRate() float64 {
 // Kicks returns the cumulative relocation attempts since creation.
 func (t *Table[P]) Kicks() uint64 { return t.kicks }
 
-// bucketRange returns the [start,end) cell indexes of key's candidate
-// bucket in the given array (1 or 2). Bucket selection uses the
-// multiply-shift range reduction (h·m >> 32), cheaper than a modulo on
-// the hot path and equally uniform for a 32-bit hash.
-func (t *Table[P]) bucketRange(key uint64, array int) (int, int) {
-	if array == 1 {
-		b := int(uint64(hashutil.Hash64(key, t.seed1)) * uint64(t.m1) >> 32)
-		start := b * t.d
-		return start, start + t.d
+// SWAR constants: the broadcast and per-lane high-bit masks of 8 byte
+// lanes in a tag word.
+const (
+	tagLSB uint64 = 0x0101010101010101
+	tagMSB uint64 = 0x8080808080808080
+)
+
+// tagOf derives a cell's fingerprint tag from the key's 64-bit hash.
+// Tag zero marks an empty cell, so hash byte 0 is remapped; the tag is
+// taken from the top byte of h, which remix scrambles before deriving
+// bucket indexes, so tag and bucket stay effectively independent.
+func tagOf(h uint64) byte {
+	if t := byte(h >> 56); t != 0 {
+		return t
 	}
-	b := int(uint64(hashutil.Hash64(key, t.seed2)) * uint64(t.m2) >> 32)
-	start := t.m1*t.d + b*t.d
-	return start, start + t.d
+	return 0xFF
 }
 
-// find returns the cell index of key, or -1.
-func (t *Table[P]) find(key uint64) int {
-	for array := 1; array <= 2; array++ {
-		start, end := t.bucketRange(key, array)
-		keys := t.keys[start:end]
-		occ := t.occ[start:end]
-		for i := range keys {
-			if keys[i] == key && occ[i] {
-				return start + i
+// zeroBytes returns a mask with the high bit set in exactly the bytes
+// of x that are zero. This is the exact (Mycroft) form: the per-byte
+// add can never carry across lanes, so — unlike the subtract-borrow
+// shortcut — a 0x01 byte above a zero byte is not a false positive.
+func zeroBytes(x uint64) uint64 {
+	return ^(((x & ^tagMSB) + ^tagMSB) | x) & tagMSB
+}
+
+// laneMask keeps the low `lanes` byte-lane markers of a zeroBytes mask.
+func laneMask(lanes int) uint64 {
+	return tagMSB >> (8 * (8 - lanes))
+}
+
+// remix folds the per-table seed into the chain-level hash, yielding
+// 64 fresh bits per table from one Key64 of the key. Its halves become
+// the per-array bucket indexes after multiply-shift range reduction
+// (h·m >> 32 — cheaper than a modulo and equally uniform). No
+// per-table key re-hash happens anywhere on the probe path.
+func (t *Table[P]) remix(h uint64) uint64 {
+	x := h ^ t.seed
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// bucketPair derives the key's two candidate buckets (as global bucket
+// indexes: array 2 starts at m1) from the remixed hash halves.
+func (t *Table[P]) bucketPair(x uint64) (b1, b2 int) {
+	b1 = int(uint64(uint32(x)) * uint64(t.m1) >> 32)
+	b2 = t.m1 + int(uint64(uint32(x>>32))*uint64(t.m2)>>32)
+	return b1, b2
+}
+
+// tagAt returns the fingerprint tag of cell c in bucket b.
+func (t *Table[P]) tagAt(b, c int) byte {
+	return byte(t.cells[b*t.stride+c>>3] >> ((c & 7) * 8))
+}
+
+// setTag writes cell c of bucket b's fingerprint tag.
+func (t *Table[P]) setTag(b, c int, tag byte) {
+	w := &t.cells[b*t.stride+c>>3]
+	shift := (c & 7) * 8
+	*w = *w&^(0xFF<<shift) | uint64(tag)<<shift
+}
+
+// keyRef returns a pointer to the key word of cell c in bucket b.
+func (t *Table[P]) keyRef(b, c int) *uint64 {
+	return &t.cells[b*t.stride+t.tw+c]
+}
+
+// findHashed returns the flat cell index of key (whose chain-level
+// hash is h), or -1. Candidate cells are pre-filtered by fingerprint
+// tag; the full key compare decides, so a tag collision costs one
+// extra load — from the cache line right after the tag word. The d=8
+// default is fully unrolled: one tag word, eight adjacent keys, and
+// the second bucket is not derived unless the first rejects.
+func (t *Table[P]) findHashed(h, key uint64) int {
+	pat := uint64(tagOf(h)) * tagLSB
+	x := t.remix(h)
+	if t.d == 8 {
+		b := int(uint64(uint32(x)) * uint64(t.m1) >> 32)
+		base := b * 9
+		m := zeroBytes(t.cells[base] ^ pat)
+		for m != 0 {
+			c := bits.TrailingZeros64(m) >> 3
+			if t.cells[base+1+c] == key {
+				return b*8 + c
 			}
+			m &= m - 1
+		}
+		b = t.m1 + int(uint64(uint32(x>>32))*uint64(t.m2)>>32)
+		base = b * 9
+		m = zeroBytes(t.cells[base] ^ pat)
+		for m != 0 {
+			c := bits.TrailingZeros64(m) >> 3
+			if t.cells[base+1+c] == key {
+				return b*8 + c
+			}
+			m &= m - 1
+		}
+		return -1
+	}
+	b1, b2 := t.bucketPair(x)
+	if i := t.probeBucket(b1, pat, key); i >= 0 {
+		return i
+	}
+	return t.probeBucket(b2, pat, key)
+}
+
+// probeBucket scans one bucket's tag word(s) for pat, verifying
+// candidates against the full key; it returns the flat cell index or
+// -1. Unused lanes of a partial tag word hold 0 and pat is never 0, so
+// they can't match and need no masking here.
+func (t *Table[P]) probeBucket(b int, pat, key uint64) int {
+	base := b * t.stride
+	for w := 0; w < t.tw; w++ {
+		m := zeroBytes(t.cells[base+w] ^ pat)
+		for m != 0 {
+			c := w*8 + bits.TrailingZeros64(m)>>3
+			if t.cells[base+t.tw+c] == key {
+				return b*t.d + c
+			}
+			m &= m - 1
 		}
 	}
 	return -1
 }
 
+// emptyIn returns the in-bucket cell index of an empty cell in bucket
+// b, or -1. Unused lanes of a partial tag word would read as "empty",
+// so they are masked off.
+func (t *Table[P]) emptyIn(b int) int {
+	base := b * t.stride
+	for w := 0; w < t.tw; w++ {
+		m := zeroBytes(t.cells[base+w])
+		if rem := t.d - w*8; rem < 8 {
+			m &= laneMask(rem)
+		}
+		if m != 0 {
+			return w*8 + bits.TrailingZeros64(m)>>3
+		}
+	}
+	return -1
+}
+
+// find returns the flat cell index of key, or -1, hashing the key.
+func (t *Table[P]) find(key uint64) int {
+	return t.findHashed(hashutil.Key64(key), key)
+}
+
 // Lookup returns the payload stored under key.
 func (t *Table[P]) Lookup(key uint64) (P, bool) {
-	if i := t.find(key); i >= 0 {
+	return t.LookupHashed(hashutil.Key64(key), key)
+}
+
+// LookupHashed is Lookup with the key's hash already computed.
+func (t *Table[P]) LookupHashed(h, key uint64) (P, bool) {
+	if i := t.findHashed(h, key); i >= 0 {
 		return t.vals[i], true
 	}
 	var zero P
@@ -158,7 +309,12 @@ func (t *Table[P]) Lookup(key uint64) (P, bool) {
 // Ref returns a pointer to key's payload so callers can mutate it in
 // place (used by the weighted version to bump w without a second probe).
 func (t *Table[P]) Ref(key uint64) *P {
-	if i := t.find(key); i >= 0 {
+	return t.RefHashed(hashutil.Key64(key), key)
+}
+
+// RefHashed is Ref with the key's hash already computed.
+func (t *Table[P]) RefHashed(h, key uint64) *P {
+	if i := t.findHashed(h, key); i >= 0 {
 		return &t.vals[i]
 	}
 	return nil
@@ -167,48 +323,86 @@ func (t *Table[P]) Ref(key uint64) *P {
 // Contains reports whether key is stored.
 func (t *Table[P]) Contains(key uint64) bool { return t.find(key) >= 0 }
 
-// Insert stores ⟨key,val⟩, kicking residents per the cuckoo discipline
-// for at most MaxKicks rounds. On success ok is true. On failure ok is
-// false and the returned entry is the item left without a home (which,
-// after kicking, is generally NOT the argument pair); the caller is
-// expected to park it in a denylist (§III-A2). The caller must ensure
-// key is not already present.
+// place writes ⟨key,val,tag⟩ into cell c of bucket b.
+func (t *Table[P]) place(b, c int, key uint64, val P, tag byte) {
+	*t.keyRef(b, c) = key
+	t.vals[b*t.d+c] = val
+	t.setTag(b, c, tag)
+	t.size++
+}
+
+// Insert stores ⟨key,val⟩, hashing the key itself. See InsertHashed.
 func (t *Table[P]) Insert(key uint64, val P) (leftover Entry[P], ok bool) {
-	curKey, curVal := key, val
+	return t.InsertHashed(hashutil.Key64(key), key, val)
+}
+
+// InsertHashed stores ⟨key,val⟩ (h is the key's chain-level hash),
+// kicking residents per the cuckoo discipline for at most MaxKicks
+// rounds. On success ok is true. On failure ok is false and the
+// returned entry is the item left without a home (which, after kicking,
+// is generally NOT the argument pair); the caller is expected to park
+// it in a denylist (§III-A2). The caller must ensure key is not already
+// present. A kicked victim keeps its tag byte — only its buckets are
+// re-derived, from one Key64 of the victim key.
+func (t *Table[P]) InsertHashed(h, key uint64, val P) (leftover Entry[P], ok bool) {
+	curH, curKey, curVal := h, key, val
+	curTag := tagOf(h)
 	array := 1
 	for kick := 0; kick <= t.maxKicks; kick++ {
 		// Try both candidate buckets for an empty cell first.
-		for a := 1; a <= 2; a++ {
-			start, end := t.bucketRange(curKey, a)
-			for i := start; i < end; i++ {
-				if !t.occ[i] {
-					t.keys[i], t.vals[i], t.occ[i] = curKey, curVal, true
-					t.size++
-					return Entry[P]{}, true
-				}
-			}
+		b1, b2 := t.bucketPair(t.remix(curH))
+		if c := t.emptyIn(b1); c >= 0 {
+			t.place(b1, c, curKey, curVal, curTag)
+			return Entry[P]{}, true
+		}
+		if c := t.emptyIn(b2); c >= 0 {
+			t.place(b2, c, curKey, curVal, curTag)
+			return Entry[P]{}, true
 		}
 		if kick == t.maxKicks {
 			break
 		}
 		// Both buckets full: evict a random resident from the bucket in
 		// the current array and continue with the victim in the other.
-		start, end := t.bucketRange(curKey, array)
-		victim := start + t.rng.Intn(end-start)
-		t.keys[victim], curKey = curKey, t.keys[victim]
-		t.vals[victim], curVal = curVal, t.vals[victim]
+		b := b1
+		if array == 2 {
+			b = b2
+		}
+		c := t.rng.Intn(t.d)
+		kr := t.keyRef(b, c)
+		*kr, curKey = curKey, *kr
+		vr := &t.vals[b*t.d+c]
+		*vr, curVal = curVal, *vr
+		oldTag := t.tagAt(b, c)
+		t.setTag(b, c, curTag)
+		curTag = oldTag
+		curH = hashutil.Key64(curKey)
 		t.kicks++
 		array = 3 - array
 	}
 	return Entry[P]{Key: curKey, Val: curVal}, false
 }
 
+// clearCell empties the flat cell index i.
+func (t *Table[P]) clearCell(i int) {
+	b := i / t.d
+	c := i - b*t.d
+	var zero P
+	*t.keyRef(b, c) = 0
+	t.vals[i] = zero
+	t.setTag(b, c, 0)
+	t.size--
+}
+
 // Delete removes key, reporting whether it was present.
 func (t *Table[P]) Delete(key uint64) bool {
-	if i := t.find(key); i >= 0 {
-		var zero P
-		t.keys[i], t.vals[i], t.occ[i] = 0, zero, false
-		t.size--
+	return t.DeleteHashed(hashutil.Key64(key), key)
+}
+
+// DeleteHashed is Delete with the key's hash already computed.
+func (t *Table[P]) DeleteHashed(h, key uint64) bool {
+	if i := t.findHashed(h, key); i >= 0 {
+		t.clearCell(i)
 		return true
 	}
 	return false
@@ -216,30 +410,80 @@ func (t *Table[P]) Delete(key uint64) bool {
 
 // ForEach calls fn for every stored entry until fn returns false.
 func (t *Table[P]) ForEach(fn func(key uint64, val P) bool) {
-	for i, o := range t.occ {
-		if o && !fn(t.keys[i], t.vals[i]) {
-			return
+	t.ForEachRef(func(key uint64, val *P) bool { return fn(key, *val) })
+}
+
+// occupiedLanes returns the occupied-lane markers (high bit per byte
+// lane) of tag word w of the bucket starting at word base: lanes whose
+// tag is non-zero, with the unused lanes of a partial word masked off.
+// It is THE shared decoder of the iteration paths, so the subtle
+// partial-word masking lives in exactly one place.
+func (t *Table[P]) occupiedLanes(base, w int) uint64 {
+	occ := tagMSB &^ zeroBytes(t.cells[base+w])
+	if rem := t.d - w*8; rem < 8 {
+		occ &= laneMask(rem)
+	}
+	return occ
+}
+
+// ForEachRef calls fn for every stored entry with a pointer to its
+// payload in place — the allocation-free iteration of the read path —
+// until fn returns false. It reports whether the scan ran to
+// completion (false = fn stopped it). The pointer is valid only during
+// the call.
+func (t *Table[P]) ForEachRef(fn func(key uint64, val *P) bool) bool {
+	buckets := t.m1 + t.m2
+	for b := 0; b < buckets; b++ {
+		base := b * t.stride
+		for w := 0; w < t.tw; w++ {
+			occ := t.occupiedLanes(base, w)
+			for occ != 0 {
+				c := w*8 + bits.TrailingZeros64(occ)>>3
+				if !fn(t.cells[base+t.tw+c], &t.vals[b*t.d+c]) {
+					return false
+				}
+				occ &= occ - 1
+			}
 		}
 	}
+	return true
 }
 
 // Drain removes and returns every stored entry.
 func (t *Table[P]) Drain() []Entry[P] {
-	out := make([]Entry[P], 0, t.size)
-	for i, o := range t.occ {
-		if o {
-			out = append(out, Entry[P]{Key: t.keys[i], Val: t.vals[i]})
-			var zero P
-			t.keys[i], t.vals[i], t.occ[i] = 0, zero, false
+	return t.DrainInto(make([]Entry[P], 0, t.size))
+}
+
+// DrainInto removes every stored entry, appending them to buf —
+// letting transformation loops reuse one scratch buffer instead of
+// allocating a fresh slice per restructure.
+func (t *Table[P]) DrainInto(buf []Entry[P]) []Entry[P] {
+	buckets := t.m1 + t.m2
+	for b := 0; b < buckets; b++ {
+		base := b * t.stride
+		for w := 0; w < t.tw; w++ {
+			occ := t.occupiedLanes(base, w)
+			for occ != 0 {
+				c := w*8 + bits.TrailingZeros64(occ)>>3
+				buf = append(buf, Entry[P]{Key: t.cells[base+t.tw+c], Val: t.vals[b*t.d+c]})
+				occ &= occ - 1
+			}
 		}
 	}
+	clear(t.cells)
+	clear(t.vals)
 	t.size = 0
-	return out
+	return buf
 }
 
 // MemoryBytes returns the structural bytes of the table assuming
-// payloadBytes per payload: 8 B key + payload + 1 B occupancy per cell,
-// plus the fixed header words.
+// payloadBytes per payload: 8 B key + payload + 1 B fingerprint tag per
+// cell, plus the fixed header words. The tag byte replaces the retired
+// 1 B/cell occupancy flag — tags mark occupancy (0 = empty) AND
+// pre-filter probes, so the layout change is space-neutral. (For d not
+// a multiple of 8 the physical tag word carries unused padding lanes;
+// the model counts the information content, 1 B per cell, matching the
+// paper's cell-layout accounting.)
 func (t *Table[P]) MemoryBytes(payloadBytes int) uint64 {
 	perCell := uint64(8 + payloadBytes + 1)
 	return uint64(t.Cells())*perCell + 64

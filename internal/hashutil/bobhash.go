@@ -111,6 +111,22 @@ func Hash64(key uint64, seed uint32) uint32 {
 	return c
 }
 
+// Key64 mixes a uint64 key into a full 64-bit hash with the splitmix64
+// finaliser (a bijection, so distinct keys never collide in the full
+// 64 bits). It is THE hash of the probe path: each operation computes
+// it once per key, and every cuckoo table derives both of its bucket
+// indexes and the cell fingerprint tag from this one value by mixing
+// with its per-table seed — replacing the two seeded Bob hashes per
+// table per probe of the original layout.
+func Key64(key uint64) uint64 {
+	z := key
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // Pair mixes an edge ⟨u,v⟩ into a single 64-bit fingerprint. Used by
 // stores that key edge sets by the whole pair.
 func Pair(u, v uint64) uint64 {

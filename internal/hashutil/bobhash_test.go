@@ -31,6 +31,50 @@ func TestHash64MatchesByteHashQuick(t *testing.T) {
 	}
 }
 
+func TestKey64Bijective(t *testing.T) {
+	// Key64 is the splitmix64 finaliser, a bijection on uint64: distinct
+	// keys can never collide in the full 64 bits. Spot-check injectivity
+	// and that the known inverse-free zero case still maps sensibly.
+	seen := map[uint64]uint64{}
+	for k := uint64(0); k < 1<<14; k++ {
+		h := Key64(k)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Key64 collision: %d and %d both hash to %#x", prev, k, h)
+		}
+		seen[h] = k
+	}
+}
+
+func TestKey64Deterministic(t *testing.T) {
+	f := func(k uint64) bool { return Key64(k) == Key64(k) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKey64Distribution(t *testing.T) {
+	// Sequential keys binned by the top byte (the fingerprint-tag byte of
+	// the probe path) and by low bits (the shard/bucket side) must both
+	// spread roughly uniformly.
+	const keys, bins = 1 << 14, 64
+	hi := make([]int, bins)
+	lo := make([]int, bins)
+	for k := uint64(0); k < keys; k++ {
+		h := Key64(k)
+		hi[h>>58]++
+		lo[h%bins]++
+	}
+	want := keys / bins
+	for b := 0; b < bins; b++ {
+		if hi[b] < want/2 || hi[b] > want*2 {
+			t.Fatalf("top-bits bin %d has %d keys, want ≈%d", b, hi[b], want)
+		}
+		if lo[b] < want/2 || lo[b] > want*2 {
+			t.Fatalf("low-bits bin %d has %d keys, want ≈%d", b, lo[b], want)
+		}
+	}
+}
+
 func TestHashSeedsIndependent(t *testing.T) {
 	// Different seeds must give different hash functions (the two arrays
 	// of a cuckoo table rely on independence).

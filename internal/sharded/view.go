@@ -323,12 +323,9 @@ func (v *View) Degree(u uint64) int {
 	if succ, ok := v.overlays[si][u]; ok {
 		return len(succ)
 	}
-	n := 0
-	sh.g.ForEachSuccessor(u, func(uint64) bool {
-		n++
-		return true
-	})
-	return n
+	// Untouched cell: the live engine's O(R) population counters are
+	// the view's truth too.
+	return sh.g.Degree(u)
 }
 
 // ForEachNode calls fn for every node that had at least one out-edge at
