@@ -36,38 +36,100 @@ import (
 )
 
 var (
-	scale   = flag.Uint64("scale", 64, "dataset scale divisor (1 = paper size)")
-	seed    = flag.Uint64("seed", 42, "workload seed")
-	jsonOut = flag.Bool("json", false, "also write BENCH_<workload>.json with machine-readable results")
+	scale     = flag.Uint64("scale", 64, "dataset scale divisor (1 = paper size)")
+	seed      = flag.Uint64("seed", 42, "workload seed")
+	jsonOut   = flag.Bool("json", false, "also write BENCH_<workload>.json with machine-readable results")
+	compare   = flag.String("compare", "", "baseline BENCH_<workload>.json to diff the run against; exits 1 on regression")
+	tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op slowdown before -compare flags a regression")
+	repeat    = flag.Int("repeat", 1, "run the workload N times and keep per-series medians (defaults to 3 with -compare)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] [-json] <table2|table3|table4|fig2..fig18|kicks|readpath|concurrent|parallel|durability|batchops|snapshot|all>")
+		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] [-json] [-compare BENCH_x.json [-tolerance F] [-repeat N]] <table2|table3|table4|fig2..fig18|kicks|analytics|readpath|concurrent|parallel|durability|batchops|snapshot|all>")
 		os.Exit(2)
 	}
-	run(flag.Arg(0))
+	reps := *repeat
+	if reps < 1 {
+		reps = 1
+	}
+	if *compare != "" && *repeat == 1 {
+		reps = 3 // interleaved best-of-N: rerun and take medians
+	}
+	for i := 0; i < reps; i++ {
+		run(flag.Arg(0))
+	}
+	os.Exit(finish())
 }
 
-// emitJSON writes the machine-readable result file for one workload
-// when -json is set: BENCH_<workload>.json in the working directory,
-// stamped with the git revision so the perf trajectory is attributable
-// across PRs.
+// collected accumulates each repeat's machine-readable rows per
+// workload; finish reduces them to per-series medians.
+var collected = map[string][][]bench.JSONRow{}
+
+// emitJSON records one run's machine-readable rows for the workload.
+// The file (and any -compare verdict) is produced by finish once every
+// repeat has run, from per-series medians.
 func emitJSON(workload string, rows []bench.JSONRow) {
-	if !*jsonOut {
-		return
+	collected[workload] = append(collected[workload], rows)
+}
+
+// finish writes BENCH_<workload>.json files when -json is set and,
+// when -compare names a baseline, diffs the medianed fresh rows
+// against it. The returned code is the process exit status: 1 when any
+// series regressed past the tolerance, 0 otherwise.
+func finish() int {
+	medians := map[string][]bench.JSONRow{}
+	for workload, runs := range collected {
+		medians[workload] = bench.MedianRows(runs)
 	}
-	path, err := bench.WriteJSONReport(".", bench.JSONReport{
-		Workload: workload,
-		Scale:    *scale,
-		Rows:     rows,
-	})
+	if *jsonOut {
+		for workload, rows := range medians {
+			path, err := bench.WriteJSONReport(".", bench.JSONReport{
+				Workload: workload,
+				Scale:    *scale,
+				Rows:     rows,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cgbench: writing %s results: %v\n", workload, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if *compare == "" {
+		return 0
+	}
+	baseline, err := bench.LoadJSONReport(*compare)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgbench: writing %s results: %v\n", workload, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "cgbench: loading baseline: %v\n", err)
+		return 1
 	}
-	fmt.Printf("wrote %s\n", path)
+	if baseline.Scale != 0 && baseline.Scale != *scale {
+		fmt.Fprintf(os.Stderr, "cgbench: baseline was measured at scale %d, this run at %d; rerun with -scale %d\n",
+			baseline.Scale, *scale, baseline.Scale)
+		return 1
+	}
+	fresh, ok := medians[baseline.Workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cgbench: baseline is for workload %q, which this run did not execute\n", baseline.Workload)
+		return 1
+	}
+	deltas, regressed := bench.CompareReports(baseline, bench.JSONReport{
+		Workload: baseline.Workload,
+		Scale:    *scale,
+		Rows:     fresh,
+	}, *tolerance)
+	fmt.Printf("\n== Regression check vs %s (baseline rev %s, tolerance %.0f%%) ==\n",
+		*compare, baseline.GitRev, *tolerance*100)
+	header, rows := bench.FormatDeltas(deltas)
+	bench.PrintTable(os.Stdout, header, rows)
+	if regressed {
+		fmt.Println("RESULT: regression detected")
+		return 1
+	}
+	fmt.Println("RESULT: no regression")
+	return 0
 }
 
 func run(name string) {
@@ -107,6 +169,8 @@ func run(name string) {
 		fig18()
 	case "kicks":
 		kicks()
+	case "analytics":
+		analyticsCSR()
 	case "readpath":
 		readPath()
 	case "concurrent":
@@ -122,7 +186,7 @@ func run(name string) {
 	case "all":
 		for _, n := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "readpath", "concurrent", "parallel",
+			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "analytics", "readpath", "concurrent", "parallel",
 			"durability", "batchops", "snapshot"} {
 			run(n)
 			fmt.Println()
@@ -585,6 +649,29 @@ func snapshot() {
 	bench.PrintTable(os.Stdout,
 		[]string{"live views", "ops", "writer Mops", "vs 0 views", "open latency", "CoW MB/1M ops"},
 		rows)
+}
+
+// analyticsCSR prices the CSR-compiled frozen views: PageRank, BFS and
+// triangle counting on one snapshot, each timed on the flat CSR path
+// and on the Store fallback (interleaved, medians), plus the index
+// compile cost so the amortization claim is visible in the output.
+func analyticsCSR() {
+	fmt.Printf("== Analytics: CSR flat kernels vs Store fallback (power-law, scale 1/%d) ==\n", *scale)
+	st := dataset.Generate(bench.AnalyticsCSRSpec, *scale, *seed)
+	rep := bench.AnalyticsCSR(st, 20, 3)
+	fmt.Printf("graph: %d edges, %d nodes; CSR build %.1f ms (PageRank here runs %d iterations)\n",
+		rep.Edges, rep.Nodes, rep.BuildNs/1e6, rep.PRIters)
+	rows := [][]string{}
+	for _, r := range rep.Results {
+		rows = append(rows, []string{
+			r.Kernel,
+			fmt.Sprintf("%.3f", r.FlatNs/1e6),
+			fmt.Sprintf("%.3f", r.FallbackNs/1e6),
+			fmt.Sprintf("%.2fx", r.Speedup()),
+		})
+	}
+	bench.PrintTable(os.Stdout, []string{"kernel", "CSR ms", "fallback ms", "speedup"}, rows)
+	emitJSON("analytics", rep.JSONRows())
 }
 
 // readPath measures the pure query machinery — Lookup (HasEdge hit and

@@ -87,6 +87,15 @@
 // point-in-time graph without ever blocking writers. Call Release when
 // done so the graph stops preserving state for the view.
 //
+// Frozen views also satisfy the graphstore.Indexed capability: the
+// first analytics pass against a view compiles it into a compressed-
+// sparse-row index (internal/csr — a node-id dictionary plus flat
+// offsets/edges arrays, built shard-parallel off the frozen view
+// without stalling writers), memoizes it on the view, and every kernel
+// in internal/analytics then runs over flat dense-id arrays instead of
+// per-edge store probes — an order of magnitude faster on traversal-
+// heavy passes. The index is freed with the view's last Release.
+//
 // The internal packages also contain from-scratch implementations of the
 // paper's baselines (LiveGraph, Sortledton, Wind-Bell Index, Spruce,
 // adjacency list, PCSR), the graph analytics suite (BFS, SSSP, TC, CC,

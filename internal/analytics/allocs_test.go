@@ -1,0 +1,48 @@
+package analytics
+
+import (
+	"math/rand"
+	"testing"
+
+	"cuckoograph/internal/sharded"
+)
+
+// TestFlatInnerLoopAllocs pins the flat BFS and PageRank inner loops
+// allocation-free: with the traversal state pre-sized, a full pass over
+// the index must not touch the heap. A regression here silently erodes
+// the CSR speedup, so it fails the build rather than a benchmark.
+func TestFlatInnerLoopAllocs(t *testing.T) {
+	g := sharded.New(sharded.Config{Shards: 4})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		g.InsertEdge(uint64(rng.Intn(300)), uint64(rng.Intn(300)))
+	}
+	v := g.Snapshot()
+	defer v.Release()
+	idx := v.CSR()
+	if idx.NumSources() == 0 {
+		t.Fatal("test graph compiled empty")
+	}
+
+	visited := newBitset(idx.NumNodes())
+	queue := make([]int32, 0, idx.NumNodes())
+	if a := testing.AllocsPerRun(50, func() {
+		for i := range visited {
+			visited[i] = 0
+		}
+		queue = bfsFlatInto(idx, 0, visited, queue[:0])
+	}); a != 0 {
+		t.Errorf("flat BFS inner loop: %v allocs/run, want 0", a)
+	}
+	if len(queue) < 2 {
+		t.Fatalf("flat BFS visited %d nodes; traversal did not run", len(queue))
+	}
+
+	rank := make([]float64, idx.NumNodes())
+	next := make([]float64, idx.NumNodes())
+	if a := testing.AllocsPerRun(20, func() {
+		pageRankFlatInto(idx, 5, rank, next)
+	}); a != 0 {
+		t.Errorf("flat PageRank inner loop: %v allocs/run, want 0", a)
+	}
+}

@@ -18,6 +18,9 @@ import (
 // order (§V-E1: "returning each node and the number of nodes obtained in
 // the order of BFS traversal").
 func BFS(s graphstore.Store, root uint64) []uint64 {
+	if idx := indexOf(s); idx != nil {
+		return bfsFlat(idx, root)
+	}
 	visited := map[uint64]bool{root: true}
 	order := []uint64{root}
 	for head := 0; head < len(order); head++ {
@@ -50,6 +53,9 @@ func (h *distHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = ol
 // weights (§V-E2 runs Dijkstra from the 10 highest-degree nodes). The
 // returned map holds every reachable node.
 func Dijkstra(s graphstore.Store, src uint64) map[uint64]uint64 {
+	if idx := indexOf(s); idx != nil {
+		return dijkstraFlat(idx, src)
+	}
 	dist := map[uint64]uint64{src: 0}
 	h := &distHeap{{node: src, dist: 0}}
 	for h.Len() > 0 {
@@ -73,6 +79,9 @@ func Dijkstra(s graphstore.Store, src uint64) map[uint64]uint64 {
 // the paper's method (§V-E3): enumerate 2-hop successors, then probe the
 // closing edge ⟨2-hop successor, node⟩ with edge queries.
 func TriangleCount(s graphstore.Store, node uint64) int {
+	if idx := indexOf(s); idx != nil {
+		return tcFlat(idx, node)
+	}
 	count := 0
 	s.ForEachSuccessor(node, func(mid uint64) bool {
 		s.ForEachSuccessor(mid, func(far uint64) bool {
@@ -110,6 +119,9 @@ func Nodes(s graphstore.Store) []uint64 {
 // count (§V-E4 runs "the Tarjan algorithm ... returning the connected
 // components and their number").
 func ConnectedComponents(s graphstore.Store) (map[uint64]int, int) {
+	if idx := indexOf(s); idx != nil {
+		return ccFlat(idx)
+	}
 	index := map[uint64]int{}
 	low := map[uint64]int{}
 	onStack := map[uint64]bool{}
@@ -183,6 +195,9 @@ func ConnectedComponents(s graphstore.Store) (map[uint64]int, int) {
 // PageRank iterates the power method for iters rounds with damping 0.85
 // (§V-E5 iterates 100 times on the subgraph matrix).
 func PageRank(s graphstore.Store, iters int) map[uint64]float64 {
+	if idx := indexOf(s); idx != nil {
+		return pageRankFlat(idx, iters)
+	}
 	nodes := Nodes(s)
 	if len(nodes) == 0 {
 		return nil
@@ -219,6 +234,9 @@ func PageRank(s graphstore.Store, iters int) map[uint64]float64 {
 // Betweenness runs Brandes' algorithm (§V-E6) and returns the
 // betweenness centrality of every node.
 func Betweenness(s graphstore.Store) map[uint64]float64 {
+	if idx := indexOf(s); idx != nil {
+		return betweennessFlat(idx)
+	}
 	nodes := Nodes(s)
 	bc := make(map[uint64]float64, len(nodes))
 	for _, src := range nodes {
@@ -262,6 +280,9 @@ func Betweenness(s graphstore.Store) map[uint64]float64 {
 // methodology of §V-E7) and returns the local clustering coefficient of
 // each: the fraction of neighbour pairs that are themselves connected.
 func LocalClustering(s graphstore.Store) map[uint64]float64 {
+	if idx := indexOf(s); idx != nil {
+		return localClusteringFlat(idx)
+	}
 	nodes := Nodes(s)
 	adj := make(map[uint64][]uint64, len(nodes))
 	for _, u := range nodes {
@@ -290,12 +311,20 @@ func LocalClustering(s graphstore.Store) map[uint64]float64 {
 
 // TopDegreeNodes returns the count highest-total-degree nodes (total =
 // out-degree + in-degree), the node-selection rule used throughout §V-E.
+// The out-degree side comes from the store's counter-backed Degree when
+// it has one (graphstore.Degreer); only the in-degree accumulation still
+// scans the adjacency.
 func TopDegreeNodes(s graphstore.Store, count int) []uint64 {
+	if idx := indexOf(s); idx != nil {
+		return topDegreeFlat(idx, count)
+	}
 	nodes := Nodes(s)
 	total := make(map[uint64]int, len(nodes))
 	for _, u := range nodes {
+		if d := graphstore.Degree(s, u); d > 0 {
+			total[u] += d
+		}
 		s.ForEachSuccessor(u, func(v uint64) bool {
-			total[u]++
 			total[v]++
 			return true
 		})

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"cuckoograph/internal/csr"
 	"cuckoograph/internal/graphstore"
 )
 
@@ -16,7 +17,7 @@ func resolveWorkers(workers int) int {
 }
 
 // chunks splits items into at most workers near-equal contiguous parts.
-func chunks(items []uint64, workers int) [][]uint64 {
+func chunks[T any](items []T, workers int) [][]T {
 	if len(items) == 0 {
 		return nil
 	}
@@ -24,7 +25,7 @@ func chunks(items []uint64, workers int) [][]uint64 {
 		workers = len(items)
 	}
 	size := (len(items) + workers - 1) / workers
-	var out [][]uint64
+	var out [][]T
 	for lo := 0; lo < len(items); lo += size {
 		hi := lo + size
 		if hi > len(items) {
@@ -47,6 +48,9 @@ func ParallelBFS(s graphstore.Store, root uint64, workers int) []uint64 {
 	workers = resolveWorkers(workers)
 	if workers <= 1 {
 		return BFS(s, root)
+	}
+	if idx := indexOf(s); idx != nil {
+		return parallelBFSFlat(idx, root, workers)
 	}
 	visited := map[uint64]bool{root: true}
 	order := []uint64{root}
@@ -95,6 +99,9 @@ func ParallelPageRank(s graphstore.Store, iters, workers int) map[uint64]float64
 	workers = resolveWorkers(workers)
 	if workers <= 1 {
 		return PageRank(s, iters)
+	}
+	if idx := indexOf(s); idx != nil {
+		return parallelPageRankFlat(idx, iters, workers)
 	}
 	nodes := Nodes(s)
 	if len(nodes) == 0 {
@@ -168,4 +175,132 @@ func ParallelPageRank(s graphstore.Store, iters, workers int) map[uint64]float64
 		}
 	}
 	return rank
+}
+
+// parallelBFSFlat is the level-synchronous BFS over the index: workers
+// expand disjoint slices of the current frontier into private int32
+// buffers, merged serially against the visited bitset in part order —
+// which preserves the sequential flat BFS visit order exactly.
+func parallelBFSFlat(idx *csr.Index, root uint64, workers int) []uint64 {
+	r, ok := idx.DenseOf(root)
+	if !ok {
+		return []uint64{root}
+	}
+	visited := newBitset(idx.NumNodes())
+	visited.set(r)
+	order := make([]int32, 0, idx.NumSources()+1)
+	order = append(order, r)
+	frontier := []int32{r}
+	var spare []int32
+	for len(frontier) > 0 {
+		parts := chunks(frontier, workers)
+		results := make([][]int32, len(parts))
+		var wg sync.WaitGroup
+		for ci, part := range parts {
+			wg.Add(1)
+			go func(ci int, part []int32) {
+				defer wg.Done()
+				var local []int32
+				for _, u := range part {
+					local = append(local, idx.Succ(u)...)
+				}
+				results[ci] = local
+			}(ci, part)
+		}
+		wg.Wait()
+		next := spare[:0]
+		for _, local := range results {
+			for _, v := range local {
+				if !visited.has(v) {
+					visited.set(v)
+					next = append(next, v)
+					order = append(order, v)
+				}
+			}
+		}
+		frontier, spare = next, frontier
+	}
+	out := make([]uint64, len(order))
+	for i, d := range order {
+		out[i] = idx.IDOf(d)
+	}
+	return out
+}
+
+// parallelPageRankFlat partitions the source-id range over the pool;
+// each worker pushes rank shares into a private dense float64 array
+// (allocated once, reused every iteration), and the damping update
+// sums the per-worker arrays in worker order. Results match the
+// sequential flat PageRank up to floating-point summation order.
+func parallelPageRankFlat(idx *csr.Index, iters, workers int) map[uint64]float64 {
+	srcs := idx.NumSources()
+	if srcs == 0 {
+		return nil
+	}
+	if workers > srcs {
+		workers = srcs
+	}
+	const damping = 0.85
+	n := float64(srcs)
+	rank := make([]float64, srcs)
+	for u := range rank {
+		rank[u] = 1 / n
+	}
+	bufs := make([][]float64, workers)
+	for w := range bufs {
+		bufs[w] = make([]float64, idx.NumNodes())
+	}
+	leaks := make([]float64, workers)
+	size := (srcs + workers - 1) / workers
+	var wg sync.WaitGroup
+	for it := 0; it < iters; it++ {
+		for w := 0; w < workers; w++ {
+			lo, hi := w*size, (w+1)*size
+			if hi > srcs {
+				hi = srcs
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				next := bufs[w]
+				for i := range next {
+					next[i] = 0
+				}
+				leak := 0.0
+				for u := int32(lo); u < int32(hi); u++ {
+					deg := idx.Degree(u)
+					if deg == 0 {
+						leak += rank[u]
+						continue
+					}
+					share := rank[u] / float64(deg)
+					for _, v := range idx.Succ(u) {
+						next[v] += share
+					}
+				}
+				leaks[w] = leak
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		leak := 0.0
+		for w := 0; w < workers; w++ {
+			leak += leaks[w]
+			leaks[w] = 0
+		}
+		for u := 0; u < srcs; u++ {
+			sum := 0.0
+			for w := 0; w < workers; w++ {
+				sum += bufs[w][u]
+			}
+			rank[u] = (1-damping)/n + damping*(sum+leak/n)
+		}
+	}
+	out := make(map[uint64]float64, srcs)
+	for u := 0; u < srcs; u++ {
+		out[idx.IDOf(int32(u))] = rank[u]
+	}
+	return out
 }

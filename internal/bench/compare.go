@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// LoadJSONReport reads a BENCH_<workload>.json file written by
+// WriteJSONReport.
+func LoadJSONReport(path string) (JSONReport, error) {
+	var r JSONReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// MedianRows reduces several runs of the same workload to one row set:
+// rows are matched by name and each metric is the per-name median, so
+// a single noisy run cannot fake (or mask) a regression. Rows absent
+// from some runs take the median of the runs that have them.
+func MedianRows(runs [][]JSONRow) []JSONRow {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	type acc struct {
+		mops, ns, allocs []float64
+	}
+	byName := map[string]*acc{}
+	var order []string
+	for _, rows := range runs {
+		for _, r := range rows {
+			a, ok := byName[r.Name]
+			if !ok {
+				a = &acc{}
+				byName[r.Name] = a
+				order = append(order, r.Name)
+			}
+			a.mops = append(a.mops, r.Mops)
+			a.ns = append(a.ns, r.NsPerOp)
+			a.allocs = append(a.allocs, r.AllocsPerOp)
+		}
+	}
+	out := make([]JSONRow, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, JSONRow{
+			Name:        name,
+			Mops:        medianNs(a.mops),
+			NsPerOp:     medianNs(a.ns),
+			AllocsPerOp: medianNs(a.allocs),
+		})
+	}
+	return out
+}
+
+// Delta is one row's fresh-vs-baseline comparison on ns/op.
+type Delta struct {
+	Name    string
+	BaseNs  float64
+	FreshNs float64
+	// Ratio is FreshNs/BaseNs; > 1+tolerance marks a regression.
+	Ratio     float64
+	Regressed bool
+	// Missing marks rows present on only one side; never a regression,
+	// but surfaced so renames don't silently drop coverage.
+	Missing string // "", "baseline" or "fresh"
+}
+
+// CompareReports diffs a fresh run against a checked-in baseline, row
+// by row on ns/op (series are matched by name; order is baseline order,
+// new rows appended). tolerance is the allowed fractional slowdown —
+// 0.15 lets a row run 15% slower before it counts as a regression,
+// absorbing shared-runner noise. It returns every delta plus whether
+// any row regressed.
+func CompareReports(baseline, fresh JSONReport, tolerance float64) ([]Delta, bool) {
+	freshBy := map[string]JSONRow{}
+	for _, r := range fresh.Rows {
+		freshBy[r.Name] = r
+	}
+	var deltas []Delta
+	regressed := false
+	seen := map[string]bool{}
+	for _, b := range baseline.Rows {
+		seen[b.Name] = true
+		f, ok := freshBy[b.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: b.Name, BaseNs: b.NsPerOp, Missing: "fresh"})
+			continue
+		}
+		d := Delta{Name: b.Name, BaseNs: b.NsPerOp, FreshNs: f.NsPerOp}
+		if b.NsPerOp > 0 && f.NsPerOp > 0 {
+			d.Ratio = f.NsPerOp / b.NsPerOp
+			d.Regressed = d.Ratio > 1+tolerance
+		}
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	var fresh2 []string
+	for name := range freshBy {
+		if !seen[name] {
+			fresh2 = append(fresh2, name)
+		}
+	}
+	sort.Strings(fresh2)
+	for _, name := range fresh2 {
+		deltas = append(deltas, Delta{Name: name, FreshNs: freshBy[name].NsPerOp, Missing: "baseline"})
+	}
+	return deltas, regressed
+}
+
+// FormatDeltas renders the comparison as the PrintTable row set used by
+// cgbench -compare.
+func FormatDeltas(deltas []Delta) (header []string, rows [][]string) {
+	header = []string{"series", "baseline ns/op", "fresh ns/op", "ratio", "verdict"}
+	for _, d := range deltas {
+		verdict := "ok"
+		switch {
+		case d.Missing == "fresh":
+			verdict = "missing from fresh run"
+		case d.Missing == "baseline":
+			verdict = "new series"
+		case d.Regressed:
+			verdict = "REGRESSION"
+		}
+		ns := func(v float64) string {
+			if v <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", d.Ratio)
+		}
+		rows = append(rows, []string{d.Name, ns(d.BaseNs), ns(d.FreshNs), ratio, verdict})
+	}
+	return header, rows
+}

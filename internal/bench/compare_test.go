@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cuckoograph/internal/dataset"
+)
+
+func TestCompareReportsVerdicts(t *testing.T) {
+	base := JSONReport{Workload: "w", Rows: []JSONRow{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 50},
+	}}
+	fresh := JSONReport{Workload: "w", Rows: []JSONRow{
+		{Name: "a", NsPerOp: 110}, // +10%: inside tolerance
+		{Name: "b", NsPerOp: 130}, // +30%: regression
+		{Name: "new", NsPerOp: 5},
+	}}
+	deltas, regressed := CompareReports(base, fresh, 0.15)
+	if !regressed {
+		t.Fatal("30% slowdown not flagged")
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["a"].Regressed {
+		t.Fatal("10% slowdown inside 15% tolerance flagged")
+	}
+	if !byName["b"].Regressed {
+		t.Fatal("row b should be the regression")
+	}
+	if byName["gone"].Missing != "fresh" || byName["gone"].Regressed {
+		t.Fatalf("dropped series mishandled: %+v", byName["gone"])
+	}
+	if byName["new"].Missing != "baseline" || byName["new"].Regressed {
+		t.Fatalf("new series mishandled: %+v", byName["new"])
+	}
+	header, rows := FormatDeltas(deltas)
+	if len(header) == 0 || len(rows) != len(deltas) {
+		t.Fatalf("FormatDeltas: %d rows for %d deltas", len(rows), len(deltas))
+	}
+
+	if _, reg := CompareReports(base, base, 0); reg {
+		t.Fatal("self-comparison regressed")
+	}
+}
+
+func TestMedianRowsAcrossRuns(t *testing.T) {
+	runs := [][]JSONRow{
+		{{Name: "a", NsPerOp: 100, Mops: 10}},
+		{{Name: "a", NsPerOp: 900, Mops: 30}, {Name: "late", NsPerOp: 7}},
+		{{Name: "a", NsPerOp: 200, Mops: 20}},
+	}
+	rows := MedianRows(runs)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Name != "a" || rows[0].NsPerOp != 200 || rows[0].Mops != 20 {
+		t.Fatalf("median of a wrong: %+v", rows[0])
+	}
+	if rows[1].Name != "late" || rows[1].NsPerOp != 7 {
+		t.Fatalf("sparse series wrong: %+v", rows[1])
+	}
+	one := MedianRows(runs[:1])
+	if len(one) != 1 || one[0].NsPerOp != 100 {
+		t.Fatalf("single run not passed through: %+v", one)
+	}
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := JSONReport{Workload: "rt", Scale: 64, Rows: []JSONRow{NsRow("k", 123.5)}}
+	path, err := WriteJSONReport(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_rt.json" {
+		t.Fatalf("wrote %s", path)
+	}
+	out, err := LoadJSONReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Workload != "rt" || out.Scale != 64 || len(out.Rows) != 1 || out.Rows[0].NsPerOp != 123.5 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	if out.GitRev == "" {
+		t.Fatal("git rev not stamped")
+	}
+	if _, err := LoadJSONReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("loading a missing baseline should fail")
+	}
+}
+
+func TestAnalyticsCSRSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench workload")
+	}
+	stream := dataset.Generate(AnalyticsCSRSpec, 16384, 1)
+	rep := AnalyticsCSR(stream, 3, 1)
+	if rep.Edges == 0 || len(rep.Results) != 3 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	for _, r := range rep.Results {
+		if r.FlatNs <= 0 || r.FallbackNs <= 0 {
+			t.Fatalf("kernel %s not measured: %+v", r.Kernel, r)
+		}
+	}
+	rows := rep.JSONRows()
+	if len(rows) != 7 { // build + 3 kernels × 2 paths
+		t.Fatalf("got %d JSON rows, want 7", len(rows))
+	}
+}

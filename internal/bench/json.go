@@ -39,6 +39,15 @@ func MopsRow(name string, mops, allocsPerOp float64) JSONRow {
 	return r
 }
 
+// NsRow builds a row from a ns/op measurement, deriving Mops.
+func NsRow(name string, ns float64) JSONRow {
+	r := JSONRow{Name: name, NsPerOp: ns}
+	if ns > 0 {
+		r.Mops = 1e3 / ns
+	}
+	return r
+}
+
 // GitRev returns the short hash of the checked-out revision — with a
 // "-dirty" suffix when the work tree has uncommitted changes, so a
 // report generated mid-development is never attributed to the clean

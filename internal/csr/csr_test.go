@@ -1,0 +1,180 @@
+package csr
+
+import (
+	"testing"
+)
+
+// mockSource is a deterministic in-memory Source for builder tests.
+type mockSource struct {
+	nodes []uint64
+	succ  map[uint64][]uint64
+}
+
+func (m *mockSource) NumEdges() uint64 {
+	var n uint64
+	for _, s := range m.succ {
+		n += uint64(len(s))
+	}
+	return n
+}
+
+func (m *mockSource) ForEachNode(fn func(u uint64) bool) {
+	for _, u := range m.nodes {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+func (m *mockSource) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
+	for _, v := range m.succ[u] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// mockSharded partitions the mock by u%shards so the sharded build path
+// is exercised without the real engine.
+type mockSharded struct {
+	mockSource
+	shards int
+}
+
+func (m *mockSharded) ShardCount() int { return m.shards }
+
+func (m *mockSharded) ShardNodes(si int) []uint64 {
+	var out []uint64
+	for _, u := range m.nodes {
+		if int(u)%m.shards == si {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (m *mockSharded) AppendSuccessors(u uint64, dst []uint64) []uint64 {
+	return append(dst, m.succ[u]...)
+}
+
+func testGraph() *mockSource {
+	return &mockSource{
+		nodes: []uint64{10, 20, 30, 40},
+		succ: map[uint64][]uint64{
+			10: {20, 30, 99}, // 99 is destination-only
+			20: {10, 20},     // self-loop
+			30: {40},
+			40: {10, 77, 88}, // more destination-only nodes
+		},
+	}
+}
+
+func checkIndex(t *testing.T, x *Index, src *mockSource) {
+	t.Helper()
+	if x.NumSources() != len(src.nodes) {
+		t.Fatalf("NumSources = %d, want %d", x.NumSources(), len(src.nodes))
+	}
+	wantNodes := map[uint64]bool{}
+	for _, u := range src.nodes {
+		wantNodes[u] = true
+		for _, v := range src.succ[u] {
+			wantNodes[v] = true
+		}
+	}
+	if x.NumNodes() != len(wantNodes) {
+		t.Fatalf("NumNodes = %d, want %d", x.NumNodes(), len(wantNodes))
+	}
+	if x.NumEdges() != int(src.NumEdges()) {
+		t.Fatalf("NumEdges = %d, want %d", x.NumEdges(), src.NumEdges())
+	}
+	// Round-trip dictionary and successor order per node.
+	for _, u := range src.nodes {
+		d, ok := x.DenseOf(u)
+		if !ok {
+			t.Fatalf("DenseOf(%d) missing", u)
+		}
+		if x.IDOf(d) != u {
+			t.Fatalf("IDOf(DenseOf(%d)) = %d", u, x.IDOf(d))
+		}
+		want := src.succ[u]
+		got := x.Succ(d)
+		if len(got) != len(want) || x.Degree(d) != len(want) {
+			t.Fatalf("node %d: %d successors, want %d", u, len(got), len(want))
+		}
+		for i, dv := range got {
+			if x.IDOf(dv) != want[i] {
+				t.Fatalf("node %d succ %d = %d, want %d (order must match source)",
+					u, i, x.IDOf(dv), want[i])
+			}
+		}
+	}
+	// Destination-only nodes sit past the sources with empty ranges.
+	for d := int32(x.NumSources()); d < int32(x.NumNodes()); d++ {
+		if x.Degree(d) != 0 {
+			t.Fatalf("dest-only dense %d has degree %d", d, x.Degree(d))
+		}
+		if len(src.succ[x.IDOf(d)]) != 0 {
+			t.Fatalf("node %d with out-edges landed past the sources", x.IDOf(d))
+		}
+	}
+	// Membership probes against the ground truth, both polarities.
+	for _, u := range src.nodes {
+		du, _ := x.DenseOf(u)
+		present := map[uint64]bool{}
+		for _, v := range src.succ[u] {
+			present[v] = true
+		}
+		for w := range wantNodes {
+			dw, _ := x.DenseOf(w)
+			if x.HasEdgeDense(du, dw) != present[w] {
+				t.Fatalf("HasEdgeDense(%d,%d) = %v, want %v", u, w, !present[w], present[w])
+			}
+		}
+	}
+}
+
+func TestBuildSerial(t *testing.T) {
+	src := testGraph()
+	checkIndex(t, buildSerial(src), src)
+}
+
+func TestBuildSharded(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		src := &mockSharded{mockSource: *testGraph(), shards: shards}
+		checkIndex(t, Build(src), &src.mockSource)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	x := Build(&mockSource{})
+	if x.NumNodes() != 0 || x.NumEdges() != 0 || x.NumSources() != 0 {
+		t.Fatalf("empty build: nodes=%d edges=%d srcs=%d", x.NumNodes(), x.NumEdges(), x.NumSources())
+	}
+}
+
+func TestAttachWeights(t *testing.T) {
+	src := testGraph()
+	x := buildSerial(src).AttachWeights(func(u, v uint64) uint64 { return u*1000 + v })
+	for _, u := range src.nodes {
+		d, _ := x.DenseOf(u)
+		ws := x.Weights(d)
+		for i, dv := range x.Succ(d) {
+			if want := u*1000 + x.IDOf(dv); ws[i] != want {
+				t.Fatalf("weight(%d,%d) = %d, want %d", u, x.IDOf(dv), ws[i], want)
+			}
+		}
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	src := testGraph()
+	x := buildSerial(src)
+	before := x.MemoryBytes()
+	if before == 0 {
+		t.Fatal("MemoryBytes = 0")
+	}
+	x.HasEdgeDense(0, 0) // forces the sorted copy
+	if x.MemoryBytes() <= before {
+		t.Fatal("sorted copy not accounted")
+	}
+}

@@ -4,7 +4,10 @@
 // Store, so the analytics and benchmark harnesses treat them uniformly.
 package graphstore
 
-import "cuckoograph/internal/core"
+import (
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/csr"
+)
 
 // NodeID identifies a graph node. The paper uses 8-byte identifiers.
 type NodeID = uint64
@@ -81,6 +84,30 @@ type Snapshotter interface {
 	SnapshotView() View
 }
 
+// Indexed is the analytics-acceleration capability: a store (in
+// practice a frozen View) that can hand out a compiled compressed-
+// sparse-row index of itself. The analytics kernels type-assert for it
+// and, when present, run over the index's flat dense-id arrays instead
+// of per-edge store probes and per-node map allocations; every other
+// store runs the identical algorithms through the Store interface (the
+// fallback path, which doubles as the differential oracle for the CSR
+// one). Implementations memoize the index — the sharded engine builds
+// it lazily per snapshot epoch and frees it with the view's last
+// Release — so CSR() is cheap to call on every kernel entry.
+type Indexed interface {
+	// CSR returns the compiled index of the store's current (frozen)
+	// contents. The index is immutable and safe for concurrent use.
+	CSR() *csr.Index
+}
+
+// Degreer is the O(1)-ish degree capability: stores that track
+// per-node population counters (the CuckooGraph engines, whose Degree
+// reads R counters instead of scanning the adjacency) implement it,
+// and the Degree helper below prefers it over a full successor scan.
+type Degreer interface {
+	Degree(u NodeID) int
+}
+
 // Successors collects u's successors into a fresh slice.
 func Successors(s Store, u NodeID) []NodeID {
 	var out []NodeID
@@ -91,8 +118,12 @@ func Successors(s Store, u NodeID) []NodeID {
 	return out
 }
 
-// Degree returns u's out-degree.
+// Degree returns u's out-degree: the store's counter-backed Degree
+// when it has one (see Degreer), a successor scan otherwise.
 func Degree(s Store, u NodeID) int {
+	if d, ok := s.(Degreer); ok {
+		return d.Degree(u)
+	}
 	n := 0
 	s.ForEachSuccessor(u, func(NodeID) bool {
 		n++

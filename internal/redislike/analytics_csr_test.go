@@ -1,0 +1,63 @@
+package redislike
+
+import (
+	"fmt"
+	"testing"
+
+	"cuckoograph/internal/graphstore"
+	"cuckoograph/internal/sharded"
+)
+
+// TestAnalyticsCommandsUseCSRIndex pins the end-to-end wiring: the
+// store behind graph.bfs / graph.pagerank is a frozen view satisfying
+// graphstore.Indexed, and repeated commands against the same retained
+// epoch reuse one memoized CSR index instead of recompiling.
+func TestAnalyticsCommandsUseCSRIndex(t *testing.T) {
+	srv, gm := newGraphServer(t)
+	dispatch(srv, "g.minsert", "1", "2", "2", "3", "3", "1", "3", "4")
+	epoch := mustInt(t, dispatch(srv, "g.snapshot"))
+
+	s, cleanup, err := gm.analyticsStore(fmt.Sprint(epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := s.(graphstore.Indexed)
+	if !ok {
+		t.Fatalf("analytics store is %T, not graphstore.Indexed", s)
+	}
+	first := ix.CSR()
+	if first.NumEdges() != 4 {
+		t.Fatalf("CSR has %d edges, want 4", first.NumEdges())
+	}
+	cleanup()
+
+	// A second command at the same epoch resolves the same retained
+	// view, so the index must come back memoized, not recompiled.
+	s2, cleanup2, err := gm.analyticsStore(fmt.Sprint(epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup2()
+	if s2.(graphstore.Indexed).CSR() != first {
+		t.Fatal("epoch-tagged analytics command recompiled the CSR index")
+	}
+
+	// The ephemeral no-epoch path snapshots fresh but is indexed too.
+	s3, cleanup3, err := gm.analyticsStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup3()
+	if _, ok := s3.(*sharded.View); !ok {
+		t.Fatalf("ephemeral analytics store is %T, want *sharded.View", s3)
+	}
+	if _, ok := s3.(graphstore.Indexed); !ok {
+		t.Fatal("ephemeral analytics store lost the Indexed capability")
+	}
+
+	// And the public command output over the indexed path is correct:
+	// BFS from 1 over the 1→2→3→{1,4} cycle reaches all four nodes.
+	if got := bfsNodes(t, dispatch(srv, "graph.bfs", "1", fmt.Sprint(epoch))); len(got) != 4 {
+		t.Fatalf("graph.bfs over CSR reached %v, want 4 nodes", got)
+	}
+}

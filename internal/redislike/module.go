@@ -435,6 +435,10 @@ func (gm *GraphModule) release(args []string) resp.Value {
 // the pass mid-flight), or a fresh ephemeral snapshot of now when the
 // epoch is omitted — either way the pass runs on a frozen view, never
 // blocks writers, and cleanup drops exactly the reference it holds.
+// Views satisfy graphstore.Indexed, so every kernel the command calls
+// runs on the view's CSR index: compiled lazily on the first analytics
+// command against an epoch, memoized on the view for every later
+// command at that epoch, and freed when the ring drops the snapshot.
 func (gm *GraphModule) analyticsStore(epochArg string) (graphstore.Store, func(), error) {
 	if epochArg != "" {
 		epoch, err := strconv.ParseUint(epochArg, 10, 64)

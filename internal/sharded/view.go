@@ -3,9 +3,11 @@ package sharded
 import (
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"cuckoograph/internal/core"
+	"cuckoograph/internal/csr"
 	"cuckoograph/internal/graphstore"
 )
 
@@ -45,6 +47,14 @@ type View struct {
 	// read by view readers under its read lock.
 	overlays []map[uint64][]uint64
 
+	// csrOnce/csrIdx memoize the compiled CSR index of the view's
+	// epoch: built lazily by the first analytics pass that asks (see
+	// CSR), shared by every subsequent one, and dropped when the last
+	// reference releases so a bounded snapshot ring holds a bounded
+	// number of compiled epochs.
+	csrOnce sync.Once
+	csrIdx  atomic.Pointer[csr.Index]
+
 	// refs counts the holders of the view: 1 at birth for the taker,
 	// plus one per Retain. The view is dropped from the shard
 	// registries when the count reaches zero, so a shared holder (a
@@ -59,6 +69,8 @@ var (
 	_ graphstore.Store       = (*View)(nil)
 	_ graphstore.View        = (*View)(nil)
 	_ graphstore.Snapshotter = (*Graph)(nil)
+	_ graphstore.Indexed     = (*View)(nil)
+	_ csr.ShardedSource      = (*View)(nil)
 )
 
 // Snapshot returns a consistent frozen view of the whole graph. The
@@ -228,6 +240,11 @@ func (v *View) Release() {
 		}
 		if n == 1 {
 			v.g.dropView(v)
+			// The compiled index dies with the view's last reference:
+			// even a holder that (erroneously) keeps the *View alive no
+			// longer pins the flat arrays, so the server's snapshot ring
+			// bounds CSR memory exactly as it bounds CoW state.
+			v.csrIdx.Store(nil)
 		}
 		return
 	}
@@ -365,6 +382,51 @@ func (v *View) shardNodes(si int) []uint64 {
 		}
 	}
 	return nodes
+}
+
+// CSR returns the compiled compressed-sparse-row index of the view's
+// epoch, building it on first call (all later callers share the same
+// index; the build is guarded by sync.Once so concurrent analytics
+// passes trigger exactly one compile). The build reads only frozen
+// state through the per-shard scan path — no shard lock is held for
+// longer than one node's successor copy — so writers proceed at full
+// speed while an epoch compiles. The index is released with the view's
+// last Release. CSR implements graphstore.Indexed, which is how the
+// analytics kernels discover it.
+func (v *View) CSR() *csr.Index {
+	v.check()
+	v.csrOnce.Do(func() { v.csrIdx.Store(csr.Build(v)) })
+	idx := v.csrIdx.Load()
+	if idx == nil {
+		panic("sharded: use of released View")
+	}
+	return idx
+}
+
+// ShardCount implements csr.ShardedSource: the number of partitions
+// the CSR build fans out over.
+func (v *View) ShardCount() int { v.check(); return len(v.g.shards) }
+
+// ShardNodes implements csr.ShardedSource: partition si's node set at
+// the view's epoch.
+func (v *View) ShardNodes(si int) []uint64 { v.check(); return v.shardNodes(si) }
+
+// AppendSuccessors implements csr.ShardedSource: appends u's frozen
+// successors to dst. Unlike successorsInto it always copies — the
+// caller owns dst outright, even when u's adjacency resolved to a
+// shared overlay pre-image.
+func (v *View) AppendSuccessors(u uint64, dst []uint64) []uint64 {
+	v.check()
+	si := v.g.shardIndex(u)
+	sh := &v.g.shards[si]
+	sh.mu.RLock()
+	if succ, ok := v.overlays[si][u]; ok {
+		dst = append(dst, succ...)
+	} else {
+		dst = sh.g.AppendSuccessors(u, dst)
+	}
+	sh.mu.RUnlock()
+	return dst
 }
 
 // MemoryUsage reports the bytes the view itself pins: its overlay

@@ -1,0 +1,204 @@
+package sharded
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cuckoograph/internal/csr"
+	"cuckoograph/internal/graphstore"
+)
+
+// viewEdgeSet collects a view's full edge set through the Store path.
+func viewEdgeSet(v *View) map[[2]uint64]bool {
+	out := map[[2]uint64]bool{}
+	v.ForEachNode(func(u uint64) bool {
+		for _, s := range v.Successors(u) {
+			out[[2]uint64{u, s}] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkCSRAgainst verifies the index is an exact compilation of the
+// edge set: same edge count, same per-node successors (order matching
+// ForEachSuccessor on the view), dictionary round-trips.
+func checkCSRAgainst(t *testing.T, v *View, want map[[2]uint64]bool) {
+	t.Helper()
+	x := v.CSR()
+	if x.NumEdges() != len(want) {
+		t.Fatalf("CSR NumEdges = %d, want %d", x.NumEdges(), len(want))
+	}
+	got := map[[2]uint64]bool{}
+	for d := int32(0); d < int32(x.NumSources()); d++ {
+		u := x.IDOf(d)
+		if rd, ok := x.DenseOf(u); !ok || rd != d {
+			t.Fatalf("dictionary round-trip failed for %d", u)
+		}
+		succ := x.Succ(d)
+		viewSucc := v.Successors(u)
+		if len(succ) != len(viewSucc) {
+			t.Fatalf("node %d: CSR degree %d, view degree %d", u, len(succ), len(viewSucc))
+		}
+		for i, dv := range succ {
+			if x.IDOf(dv) != viewSucc[i] {
+				t.Fatalf("node %d: CSR successor order diverges from view", u)
+			}
+			got[[2]uint64{u, x.IDOf(dv)}] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CSR edge set has %d edges, want %d", len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("edge %v missing from CSR", e)
+		}
+	}
+}
+
+func TestViewCSRMatchesFrozenState(t *testing.T) {
+	g := New(Config{Shards: 4})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		g.InsertEdge(uint64(rng.Intn(200)), uint64(rng.Intn(200)))
+	}
+	v := g.Snapshot()
+	defer v.Release()
+	want := viewEdgeSet(v)
+
+	// Mutations after the snapshot must not leak into the index,
+	// including fresh nodes and deletions that push the view's state
+	// into copy-on-write overlays.
+	for i := 0; i < 500; i++ {
+		g.DeleteEdge(uint64(rng.Intn(200)), uint64(rng.Intn(200)))
+		g.InsertEdge(uint64(1000+rng.Intn(50)), uint64(1000+rng.Intn(50)))
+	}
+	checkCSRAgainst(t, v, want)
+}
+
+func TestViewCSRMemoizedPerView(t *testing.T) {
+	g := New(Config{Shards: 4})
+	for u := uint64(0); u < 100; u++ {
+		g.InsertEdge(u, u+1)
+	}
+	v := g.Snapshot()
+	defer v.Release()
+
+	// Concurrent first calls race into the sync.Once; all callers must
+	// observe the one index.
+	const callers = 8
+	results := make([]*csr.Index, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = v.CSR()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("CSR not memoized: distinct indexes returned")
+		}
+	}
+	if v.CSR() != results[0] {
+		t.Fatal("repeated CSR call rebuilt the index")
+	}
+
+	// A later snapshot compiles its own index.
+	g.InsertEdge(500, 501)
+	v2 := g.Snapshot()
+	defer v2.Release()
+	if v2.CSR() == v.CSR() {
+		t.Fatal("distinct epochs share one CSR index")
+	}
+}
+
+func TestViewCSRFreedOnRelease(t *testing.T) {
+	g := New(Config{Shards: 2})
+	g.InsertEdge(1, 2)
+	v := g.Snapshot()
+	if v.CSR() == nil {
+		t.Fatal("CSR nil on live view")
+	}
+	v.Release()
+	if v.csrIdx.Load() != nil {
+		t.Fatal("CSR index survived the last Release")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CSR on released view did not panic")
+		}
+	}()
+	v.CSR()
+}
+
+// TestViewCSRBuildUnderConcurrentWriters races the parallel CSR build
+// against a full-throttle writer load (run under -race in CI): the
+// build must neither trip the detector nor observe any post-snapshot
+// state.
+func TestViewCSRBuildUnderConcurrentWriters(t *testing.T) {
+	g := New(Config{Shards: 8})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		g.InsertEdge(uint64(rng.Intn(400)), uint64(rng.Intn(400)))
+	}
+	v := g.Snapshot()
+	defer v.Release()
+	want := viewEdgeSet(v)
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r.Intn(3) == 0 {
+					g.DeleteEdge(uint64(r.Intn(400)), uint64(r.Intn(400)))
+				} else {
+					g.InsertEdge(uint64(r.Intn(600)), uint64(r.Intn(600)))
+				}
+			}
+		}(int64(w) + 100)
+	}
+	checkCSRAgainst(t, v, want)
+	close(stop)
+	writers.Wait()
+
+	// And fresh snapshots taken during/after the churn compile cleanly.
+	for i := 0; i < 3; i++ {
+		vi := g.Snapshot()
+		checkCSRAgainst(t, vi, viewEdgeSet(vi))
+		vi.Release()
+	}
+}
+
+func TestViewCSRThroughIndexedInterface(t *testing.T) {
+	g := New(Config{Shards: 4})
+	for u := uint64(0); u < 10; u++ {
+		g.InsertEdge(u, (u+1)%10)
+	}
+	v := g.Snapshot()
+	defer v.Release()
+	var s graphstore.Store = v
+	ix, ok := s.(graphstore.Indexed)
+	if !ok {
+		t.Fatal("sharded view does not satisfy graphstore.Indexed")
+	}
+	if ix.CSR().NumEdges() != 10 {
+		t.Fatalf("CSR through interface: %d edges, want 10", ix.CSR().NumEdges())
+	}
+	if ix.CSR() != v.CSR() {
+		t.Fatal("interface and concrete CSR differ")
+	}
+}
