@@ -14,6 +14,18 @@
 //	cgserver -addr 127.0.0.1:6380 -wal-dir /var/lib/cgserver \
 //	         -wal-sync always -checkpoint-every 5m
 //
+// For production serving, -metrics-addr exposes GET /metrics
+// (Prometheus text format: per-command counters and latency histograms
+// plus engine, snapshot and WAL state) and GET /healthz; -max-conns,
+// -read-timeout and -write-timeout bound misbehaving clients; and
+// SIGTERM/SIGINT trigger a graceful shutdown that drains in-flight
+// commands (bounded by -shutdown-timeout), releases retained snapshot
+// views and closes the WAL cleanly:
+//
+//	cgserver -addr 127.0.0.1:6380 -metrics-addr 127.0.0.1:9180 \
+//	         -max-conns 1024 -read-timeout 30s -write-timeout 30s \
+//	         -log-level info -log-format json
+//
 // g.snapshot freezes a consistent epoch-stamped view without blocking
 // writers; graph.bfs and graph.pagerank run on frozen views and accept
 // an epoch tag for time-travel reads. -snapshot-ring bounds how many
@@ -25,10 +37,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"cuckoograph/internal/redislike"
@@ -36,80 +51,139 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
 	walDir := flag.String("wal-dir", "", "durability directory (write-ahead log + checkpoints); empty disables")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), nosync (page cache), async (background writes)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval, e.g. 5m (0 disables; requires -wal-dir)")
 	snapshotRing := flag.Int("snapshot-ring", redislike.DefaultSnapshotRing,
 		"how many g.snapshot epochs are retained for time-travel reads; the oldest is released past the bound")
+	metricsAddr := flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics and /healthz; empty disables")
+	maxConns := flag.Int("max-conns", 0, "max concurrently served connections; further dials are answered with -MAXCLIENTS (0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-command read deadline once a command has started arriving (0 disables; idle connections are never timed out)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-reply write deadline; a client that stops reading is disconnected (0 disables)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight commands before force-closing connections")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
 
-	srv := redislike.NewServer()
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgserver:", err)
+		return 2
+	}
+
+	srv := redislike.NewServerWith(redislike.Config{
+		MaxConns:     *maxConns,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		Logger:       logger,
+	})
 	gm, mod := redislike.NewGraphModule()
 	if err := srv.LoadModule(mod); err != nil {
-		fmt.Fprintln(os.Stderr, "cgserver:", err)
-		os.Exit(1)
+		logger.Error("module load failed", "err", err)
+		return 1
 	}
 	gm.SetSnapshotRing(*snapshotRing)
 
 	if *walDir != "" {
 		sync, err := wal.ParseSyncPolicy(*walSync)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cgserver: -wal-sync:", err)
-			os.Exit(2)
+			logger.Error("bad -wal-sync", "err", err)
+			return 2
 		}
 		stats, err := gm.RecoverWAL(*walDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cgserver: recover:", err)
-			os.Exit(1)
+			logger.Error("wal recovery failed", "dir", *walDir, "err", err)
+			return 1
 		}
-		fmt.Printf("cgserver recovered %d edges from %s (snapshot=%q, %d log records in %d segments, %d torn bytes dropped) in %v\n",
-			gm.Graph().NumEdges(), *walDir, stats.Snapshot,
-			stats.Replay.Records, stats.Replay.Segments, stats.Replay.TornBytes,
-			stats.Elapsed.Round(time.Millisecond))
+		logger.Info("recovered", "dir", *walDir,
+			"edges", gm.Graph().NumEdges(), "snapshot", stats.Snapshot,
+			"records", stats.Replay.Records, "segments", stats.Replay.Segments,
+			"torn_bytes", stats.Replay.TornBytes,
+			"elapsed", stats.Elapsed.Round(time.Millisecond).String())
 		if err := gm.EnableWAL(*walDir, wal.Options{Sync: sync}); err != nil {
-			fmt.Fprintln(os.Stderr, "cgserver: wal:", err)
-			os.Exit(1)
+			logger.Error("wal enable failed", "dir", *walDir, "err", err)
+			return 1
 		}
 	} else if *checkpointEvery > 0 {
-		fmt.Fprintln(os.Stderr, "cgserver: -checkpoint-every requires -wal-dir")
-		os.Exit(2)
+		logger.Error("-checkpoint-every requires -wal-dir")
+		return 2
 	}
 
-	stopCheckpoints := make(chan struct{})
+	// Shutdown begins on the first SIGINT/SIGTERM; a second signal
+	// force-exits through the default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *walDir != "" && *checkpointEvery > 0 {
 		go func() {
 			t := time.NewTicker(*checkpointEvery)
 			defer t.Stop()
 			for {
 				select {
-				case <-stopCheckpoints:
+				case <-ctx.Done():
 					return
 				case <-t.C:
-					if path, err := gm.Checkpoint(); err != nil {
-						fmt.Fprintln(os.Stderr, "cgserver: checkpoint:", err)
-					} else {
-						fmt.Println("cgserver checkpoint:", path)
+					if _, err := gm.Checkpoint(); err != nil {
+						logger.Error("periodic checkpoint failed", "err", err)
 					}
 				}
 			}
 		}()
 	}
 
-	bound, err := srv.Listen(*addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cgserver:", err)
-		os.Exit(1)
+	if *metricsAddr != "" {
+		bound, err := srv.ListenMetrics(*metricsAddr)
+		if err != nil {
+			logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err)
+			return 1
+		}
+		logger.Info("metrics listening", "addr", bound)
 	}
-	fmt.Printf("cgserver listening on %s (commands: PING SET GET DEL g.insert g.del g.minsert g.mdel g.query g.getneighbors g.degree g.nodes g.snapshot g.snapshots g.release graph.bfs graph.pagerank wal_enable wal_replay checkpoint)\n", bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	close(stopCheckpoints)
-	srv.Close()
-	if err := gm.CloseWAL(); err != nil {
-		fmt.Fprintln(os.Stderr, "cgserver: wal close:", err)
-		os.Exit(1)
+	if _, err := srv.Listen(*addr); err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		return 1
 	}
+
+	<-ctx.Done()
+	stop()
+	logger.Info("signal received; shutting down", "timeout", shutdownTimeout.String())
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Error("shutdown failed", "err", err)
+		return 1
+	}
+	return 0
+}
+
+// buildLogger maps the -log-level/-log-format flags onto a slog logger
+// writing to stderr.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level: unknown level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("-log-format: unknown format %q (want text|json)", format)
 }

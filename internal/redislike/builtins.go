@@ -1,0 +1,128 @@
+package redislike
+
+import (
+	"strings"
+
+	"cuckoograph/internal/resp"
+)
+
+// registerBuiltins registers the core string commands and the COMMAND
+// introspection command. Builtins go through the same registry as
+// module commands — there is no hardwired dispatch path.
+func (s *Server) registerBuiltins() {
+	for _, c := range []*Command{
+		{
+			Name: "ping", Arity: Between(0, 1), Summary: "liveness probe; echoes its argument",
+			Handler: func(ctx *Ctx) (resp.Value, error) {
+				if len(ctx.Args) == 1 {
+					return resp.Bulk(ctx.Args[0]), nil
+				}
+				return resp.Simple("PONG"), nil
+			},
+		},
+		{
+			Name: "set", Arity: Exactly(2), Flags: FlagWrite, Summary: "set a string key",
+			Handler: func(ctx *Ctx) (resp.Value, error) {
+				s.mu.Lock()
+				s.strings[ctx.Args[0]] = ctx.Args[1]
+				s.mu.Unlock()
+				return resp.Simple("OK"), nil
+			},
+		},
+		{
+			Name: "get", Arity: Exactly(1), Flags: FlagRead, Summary: "get a string key",
+			Handler: func(ctx *Ctx) (resp.Value, error) {
+				s.mu.RLock()
+				v, ok := s.strings[ctx.Args[0]]
+				s.mu.RUnlock()
+				if ok {
+					return resp.Bulk(v), nil
+				}
+				return resp.NullBulk(), nil
+			},
+		},
+		{
+			Name: "del", Arity: AtLeast(1), Flags: FlagWrite, Summary: "delete string keys; replies with the count removed",
+			Handler: func(ctx *Ctx) (resp.Value, error) {
+				n := int64(0)
+				s.mu.Lock()
+				for _, k := range ctx.Args {
+					if _, ok := s.strings[k]; ok {
+						delete(s.strings, k)
+						n++
+					}
+				}
+				s.mu.Unlock()
+				return resp.Integer(n), nil
+			},
+		},
+		{
+			Name: "command", Arity: AtLeast(0), Summary: "introspect the command registry",
+			Handler: s.commandCmd,
+		},
+	} {
+		// Registration of the built-ins cannot fail: names are unique
+		// literals and every handler is set.
+		if err := s.reg.Register(c); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// commandEntry renders one registration in COMMAND reply shape:
+// [name, arity (Redis convention), [flags...], summary]. Everything
+// comes from the registry — the registration is the single source of
+// truth for dispatch and introspection alike.
+func commandEntry(c *Command) resp.Value {
+	flags := make([]resp.Value, 0, 3)
+	for _, f := range c.Flags.Names() {
+		flags = append(flags, resp.Simple(f))
+	}
+	return resp.Array(
+		resp.Bulk(c.Name),
+		resp.Integer(c.Arity.Redis()),
+		resp.Array(flags...),
+		resp.Bulk(c.Summary),
+	)
+}
+
+// commandCmd is COMMAND [COUNT | LIST | INFO name [name ...]]: the
+// registry-generated introspection surface.
+func (s *Server) commandCmd(ctx *Ctx) (resp.Value, error) {
+	if len(ctx.Args) == 0 {
+		cmds := s.reg.Commands()
+		out := make([]resp.Value, len(cmds))
+		for i, c := range cmds {
+			out[i] = commandEntry(c)
+		}
+		return resp.Array(out...), nil
+	}
+	switch strings.ToLower(ctx.Args[0]) {
+	case "count":
+		if len(ctx.Args) != 1 {
+			return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "COUNT takes no arguments"}
+		}
+		return resp.Integer(int64(s.reg.Len())), nil
+	case "list":
+		if len(ctx.Args) != 1 {
+			return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "LIST takes no arguments"}
+		}
+		cmds := s.reg.Commands()
+		out := make([]resp.Value, len(cmds))
+		for i, c := range cmds {
+			out[i] = resp.Bulk(c.Name)
+		}
+		return resp.Array(out...), nil
+	case "info":
+		out := make([]resp.Value, 0, len(ctx.Args)-1)
+		for _, name := range ctx.Args[1:] {
+			if c, ok := s.reg.Lookup(strings.ToLower(name)); ok {
+				out = append(out, commandEntry(c))
+			} else {
+				out = append(out, resp.NullBulk())
+			}
+		}
+		return resp.Array(out...), nil
+	}
+	return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "unknown subcommand " + strings.ToLower(ctx.Args[0]) + " (want COUNT, LIST or INFO)"}
+}

@@ -1,0 +1,168 @@
+package redislike
+
+import (
+	"strconv"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/resp"
+)
+
+// Data-plane command handlers. Every handler here is registered through
+// dataCmd, so ctx.Graph is the current graph, pinned against a restore
+// swap for the duration of the call; arity is already validated against
+// the registration, so handlers only check argument *content*.
+
+// parseNode decodes one node-id argument, wrapping failures in the
+// command's typed bad-argument error.
+func parseNode(ctx *Ctx, arg string) (uint64, error) {
+	n, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		return 0, &BadArgError{Cmd: ctx.Name, Detail: "bad node id " + strconv.Quote(arg)}
+	}
+	return n, nil
+}
+
+// parseEdgeArgs decodes the ⟨u,v⟩ pair of a two-argument edge command.
+func parseEdgeArgs(ctx *Ctx) (u, v uint64, err error) {
+	if u, err = parseNode(ctx, ctx.Args[0]); err != nil {
+		return 0, 0, err
+	}
+	if v, err = parseNode(ctx, ctx.Args[1]); err != nil {
+		return 0, 0, err
+	}
+	return u, v, nil
+}
+
+// walCheck surfaces a durability failure after a write: the mutation is
+// in memory but not durably logged, and a client that sees this error
+// must not assume the write survives a crash.
+func walCheck(ctx *Ctx) error {
+	if err := ctx.Graph.LogErr(); err != nil {
+		return &WALError{Cmd: ctx.Name, Err: err}
+	}
+	return nil
+}
+
+func (gm *GraphModule) insert(ctx *Ctx) (resp.Value, error) {
+	u, v, err := parseEdgeArgs(ctx)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	added := ctx.Graph.InsertEdge(u, v)
+	if err := walCheck(ctx); err != nil {
+		return resp.Value{}, err
+	}
+	if added {
+		return resp.Integer(1), nil
+	}
+	return resp.Integer(0), nil
+}
+
+func (gm *GraphModule) del(ctx *Ctx) (resp.Value, error) {
+	u, v, err := parseEdgeArgs(ctx)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	deleted := ctx.Graph.DeleteEdge(u, v)
+	if err := walCheck(ctx); err != nil {
+		return resp.Value{}, err
+	}
+	if deleted {
+		return resp.Integer(1), nil
+	}
+	return resp.Integer(0), nil
+}
+
+// parseBatchArgs decodes ⟨u,v⟩ pairs from a variadic command's
+// arguments into a mutation batch of the given kind.
+func parseBatchArgs(ctx *Ctx, kind core.OpKind) (core.Batch, error) {
+	if len(ctx.Args) == 0 || len(ctx.Args)%2 != 0 {
+		return nil, &BadArgError{Cmd: ctx.Name, Detail: "expected <u> <v> [<u> <v> ...]"}
+	}
+	b := make(core.Batch, 0, len(ctx.Args)/2)
+	for i := 0; i < len(ctx.Args); i += 2 {
+		u, err := parseNode(ctx, ctx.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseNode(ctx, ctx.Args[i+1])
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, core.Op{Kind: kind, U: u, V: v})
+	}
+	return b, nil
+}
+
+// minsert is the batched insert: G.MINSERT u1 v1 [u2 v2 ...] applies
+// every pair through the shard-parallel batch path and replies with the
+// number of newly inserted edges.
+func (gm *GraphModule) minsert(ctx *Ctx) (resp.Value, error) {
+	b, err := parseBatchArgs(ctx, core.OpInsert)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	res := ctx.Graph.ApplyBatch(b)
+	if err := walCheck(ctx); err != nil {
+		return resp.Value{}, err
+	}
+	return resp.Integer(int64(res.Inserted)), nil
+}
+
+// mdel is the batched delete: G.MDEL u1 v1 [u2 v2 ...] replies with the
+// number of edges actually removed.
+func (gm *GraphModule) mdel(ctx *Ctx) (resp.Value, error) {
+	b, err := parseBatchArgs(ctx, core.OpDelete)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	res := ctx.Graph.ApplyBatch(b)
+	if err := walCheck(ctx); err != nil {
+		return resp.Value{}, err
+	}
+	return resp.Integer(int64(res.Deleted)), nil
+}
+
+func (gm *GraphModule) query(ctx *Ctx) (resp.Value, error) {
+	u, v, err := parseEdgeArgs(ctx)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	if ctx.Graph.HasEdge(u, v) {
+		return resp.Integer(1), nil
+	}
+	return resp.Integer(0), nil
+}
+
+func (gm *GraphModule) getNeighbors(ctx *Ctx) (resp.Value, error) {
+	u, err := parseNode(ctx, ctx.Args[0])
+	if err != nil {
+		return resp.Value{}, err
+	}
+	var out []resp.Value
+	ctx.Graph.ForEachSuccessor(u, func(v uint64) bool {
+		out = append(out, resp.Bulk(strconv.FormatUint(v, 10)))
+		return true
+	})
+	return resp.Array(out...), nil
+}
+
+// degree replies with u's out-degree — the engine has always known it,
+// the wire protocol just never asked.
+func (gm *GraphModule) degree(ctx *Ctx) (resp.Value, error) {
+	u, err := parseNode(ctx, ctx.Args[0])
+	if err != nil {
+		return resp.Value{}, err
+	}
+	return resp.Integer(int64(ctx.Graph.Degree(u))), nil
+}
+
+// nodes replies with every source node (nodes with ≥1 out-edge).
+func (gm *GraphModule) nodes(ctx *Ctx) (resp.Value, error) {
+	var out []resp.Value
+	ctx.Graph.ForEachNode(func(u uint64) bool {
+		out = append(out, resp.Bulk(strconv.FormatUint(u, 10)))
+		return true
+	})
+	return resp.Array(out...), nil
+}

@@ -1,0 +1,198 @@
+package redislike
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cuckoograph/internal/resp"
+)
+
+// Introspection: the G.INFO command and the module's /metrics hook.
+// Both are generated from live state — registry, engine Stats, snapshot
+// ring, WAL counters — so there is no second bookkeeping surface to
+// drift out of sync.
+
+// infoSections is the section order of the full G.INFO reply.
+var infoSections = []string{"server", "commands", "graph", "snapshots", "wal"}
+
+// info is G.INFO [section]: Redis INFO-shaped key:value text, whole or
+// one section at a time.
+func (gm *GraphModule) info(ctx *Ctx) (resp.Value, error) {
+	want := ""
+	if len(ctx.Args) == 1 {
+		want = strings.ToLower(ctx.Args[0])
+		ok := false
+		for _, s := range infoSections {
+			if s == want {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return resp.Value{}, &BadArgError{Cmd: ctx.Name,
+				Detail: "unknown section " + strconv.Quote(want) + " (want " + strings.Join(infoSections, "|") + ")"}
+		}
+	}
+	var b strings.Builder
+	for _, s := range infoSections {
+		if want != "" && s != want {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "# %s\n", s)
+		switch s {
+		case "server":
+			gm.infoServer(ctx, &b)
+		case "commands":
+			gm.infoCommands(ctx, &b)
+		case "graph":
+			gm.infoGraph(&b)
+		case "snapshots":
+			gm.infoSnapshots(&b)
+		case "wal":
+			gm.infoWAL(&b)
+		}
+	}
+	return resp.Bulk(b.String()), nil
+}
+
+func (gm *GraphModule) infoServer(ctx *Ctx, b *strings.Builder) {
+	s := ctx.Server()
+	if s == nil {
+		fmt.Fprintf(b, "standalone:1\n")
+		return
+	}
+	m := s.Metrics()
+	fmt.Fprintf(b, "uptime_seconds:%d\n", int64(time.Since(m.start).Seconds()))
+	fmt.Fprintf(b, "connections_active:%d\n", m.connsActive.Load())
+	fmt.Fprintf(b, "connections_accepted:%d\n", m.connsAccepted.Load())
+	fmt.Fprintf(b, "connections_rejected:%d\n", m.connsRejected.Load())
+	fmt.Fprintf(b, "loading:%d\n", b2i(s.Loading()))
+	fmt.Fprintf(b, "shutting_down:%d\n", b2i(s.draining()))
+}
+
+func (gm *GraphModule) infoCommands(ctx *Ctx, b *strings.Builder) {
+	s := ctx.Server()
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(b, "commands_registered:%d\n", s.Registry().Len())
+	m := s.Metrics()
+	for _, c := range s.Registry().Commands() {
+		v, ok := m.cmds.Load(c.Name)
+		if !ok {
+			continue
+		}
+		cm := v.(*cmdMetrics)
+		fmt.Fprintf(b, "cmdstat_%s:calls=%d,errors=%d,usec=%d\n",
+			c.Name, cm.calls.Load(), cm.errs.Load(), cm.sumNS.Load()/1e3)
+	}
+}
+
+func (gm *GraphModule) infoGraph(b *strings.Builder) {
+	g := gm.Graph()
+	st := g.Stats()
+	fmt.Fprintf(b, "nodes:%d\n", st.Nodes)
+	fmt.Fprintf(b, "edges:%d\n", st.Edges)
+	fmt.Fprintf(b, "shards:%d\n", g.Shards())
+	fmt.Fprintf(b, "mutations:%d\n", g.Mutations())
+	fmt.Fprintf(b, "memory_bytes:%d\n", g.MemoryUsage())
+	fmt.Fprintf(b, "lcht_tables:%d\n", st.LCHTTables)
+	fmt.Fprintf(b, "lcht_cells:%d\n", st.LCHTCells)
+	fmt.Fprintf(b, "lcht_load_rate:%.4f\n", st.LCHTLoadRate)
+	fmt.Fprintf(b, "lcht_kicks:%d\n", st.LCHTKicks)
+	fmt.Fprintf(b, "lcht_placements:%d\n", st.LCHTPlacements)
+	fmt.Fprintf(b, "chains:%d\n", st.Chains)
+	fmt.Fprintf(b, "chain_entries:%d\n", st.ChainEntries)
+	fmt.Fprintf(b, "scht_kicks:%d\n", st.SCHTKicks)
+	fmt.Fprintf(b, "scht_placements:%d\n", st.SCHTPlacements)
+	fmt.Fprintf(b, "transformations:%d\n", st.Transformations)
+}
+
+func (gm *GraphModule) infoSnapshots(b *strings.Builder) {
+	vs := gm.Graph().ViewStats()
+	gm.viewMu.Lock()
+	retained, cap := len(gm.views), gm.viewCap
+	gm.viewMu.Unlock()
+	fmt.Fprintf(b, "epoch:%d\n", vs.Epoch)
+	fmt.Fprintf(b, "live_views:%d\n", vs.LiveViews)
+	fmt.Fprintf(b, "cow_bytes:%d\n", vs.CoWBytes)
+	fmt.Fprintf(b, "ring_retained:%d\n", retained)
+	fmt.Fprintf(b, "ring_capacity:%d\n", cap)
+}
+
+func (gm *GraphModule) infoWAL(b *strings.Builder) {
+	w := gm.walPtr.Load()
+	if w == nil {
+		fmt.Fprintf(b, "enabled:0\n")
+		return
+	}
+	st := w.Stats()
+	fmt.Fprintf(b, "enabled:1\n")
+	fmt.Fprintf(b, "dir:%s\n", w.Dir())
+	fmt.Fprintf(b, "segment:%d\n", st.Segment)
+	fmt.Fprintf(b, "appends:%d\n", st.Appends)
+	fmt.Fprintf(b, "records:%d\n", st.Records)
+	fmt.Fprintf(b, "ops:%d\n", st.Ops)
+	fmt.Fprintf(b, "bytes:%d\n", st.Bytes)
+	fmt.Fprintf(b, "group_commits:%d\n", st.GroupCommits)
+	fmt.Fprintf(b, "syncs:%d\n", st.Syncs)
+	fmt.Fprintf(b, "rotations:%d\n", st.Rotations)
+	fmt.Fprintf(b, "pending_bytes:%d\n", st.PendingBytes)
+	fmt.Fprintf(b, "failed:%d\n", b2i(st.Failed))
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// collectMetrics is the module's Metrics hook: engine, snapshot-ring
+// and WAL state under the server's /metrics scrape. The WAL pointer is
+// read through the lock-free mirror so a scrape never queues behind a
+// checkpoint holding walMu.
+func (gm *GraphModule) collectMetrics(mw *MetricsWriter) {
+	g := gm.Graph()
+	st := g.Stats()
+	mw.Gauge("cg_graph_nodes", "Nodes with at least one out-edge.", float64(st.Nodes))
+	mw.Gauge("cg_graph_edges", "Edges in the graph.", float64(st.Edges))
+	mw.Gauge("cg_graph_memory_bytes", "Estimated engine memory footprint.", float64(g.MemoryUsage()))
+	mw.Counter("cg_graph_mutations_total", "Applied mutations since the graph was created.", float64(g.Mutations()))
+	mw.Gauge("cg_graph_shards", "Shards in the concurrent engine.", float64(g.Shards()))
+	mw.Gauge("cg_graph_lcht_load_rate", "Overall LCHT load rate.", st.LCHTLoadRate)
+	mw.Counter("cg_graph_lcht_kicks_total", "Cuckoo kicks in the large-degree tables.", float64(st.LCHTKicks))
+	mw.Counter("cg_graph_transformations_total", "LDL/SDL/LCHT structure transformations.", float64(st.Transformations))
+
+	vs := g.ViewStats()
+	gm.viewMu.Lock()
+	retained := len(gm.views)
+	gm.viewMu.Unlock()
+	mw.Gauge("cg_snapshot_epoch", "Current snapshot epoch.", float64(vs.Epoch))
+	mw.Gauge("cg_snapshot_live_views", "Frozen views currently retained (ring + in-flight).", float64(vs.LiveViews))
+	mw.Counter("cg_snapshot_cow_bytes_total", "Pre-image bytes copied for snapshot isolation since start.", float64(vs.CoWBytes))
+	mw.Gauge("cg_snapshot_ring_retained", "Views retained in the time-travel ring.", float64(retained))
+
+	w := gm.walPtr.Load()
+	if w == nil {
+		mw.Gauge("cg_wal_enabled", "1 while a write-ahead log is attached.", 0)
+		return
+	}
+	ws := w.Stats()
+	mw.Gauge("cg_wal_enabled", "1 while a write-ahead log is attached.", 1)
+	mw.Counter("cg_wal_appends_total", "Acknowledged append calls.", float64(ws.Appends))
+	mw.Counter("cg_wal_records_total", "Framed records written or queued.", float64(ws.Records))
+	mw.Counter("cg_wal_ops_total", "Edge mutations logged.", float64(ws.Ops))
+	mw.Counter("cg_wal_bytes_total", "Frame bytes handed to write(2).", float64(ws.Bytes))
+	mw.Counter("cg_wal_group_commits_total", "Group commits (write(2) batches).", float64(ws.GroupCommits))
+	mw.Counter("cg_wal_syncs_total", "fsyncs of segment data.", float64(ws.Syncs))
+	mw.Counter("cg_wal_rotations_total", "Segment rotations.", float64(ws.Rotations))
+	mw.Gauge("cg_wal_segment", "Segment currently appended to.", float64(ws.Segment))
+	mw.Gauge("cg_wal_pending_bytes", "Queued frame bytes not yet written.", float64(ws.PendingBytes))
+	mw.Gauge("cg_wal_failed", "1 once the WAL's sticky error is set.", boolGauge(ws.Failed))
+}

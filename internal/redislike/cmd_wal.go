@@ -1,0 +1,148 @@
+package redislike
+
+import (
+	"fmt"
+
+	"cuckoograph/internal/resp"
+	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/wal"
+)
+
+// Durability control plane: the WAL API methods and their command
+// handlers. Everything here serialises on walMu; the data plane never
+// touches it.
+
+// EnableWAL opens (creating if needed) the write-ahead log in dir and
+// attaches it to the graph, making every subsequent acknowledged
+// mutation durable. If the graph already holds edges, an initial
+// checkpoint captures them so recovery of dir is complete on its own —
+// unless the graph is exactly the one RecoverWAL just rebuilt from this
+// same directory, in which case the directory already describes it and
+// the (full-snapshot-sized) checkpoint is skipped.
+func (gm *GraphModule) EnableWAL(dir string, opts wal.Options) error {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal != nil {
+		return fmt.Errorf("wal already enabled in %s", gm.wal.Dir())
+	}
+	w, err := wal.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	g := gm.Graph()
+	g.SetWAL(w)
+	r := gm.recovered
+	coveredByDir := r.g == g && r.dir == dir && g.Mutations() == r.muts
+	if g.NumEdges() > 0 && !coveredByDir {
+		if _, err := wal.Checkpoint(g, w); err != nil {
+			g.SetWAL(nil)
+			w.Close()
+			return err
+		}
+	}
+	gm.wal = w
+	gm.walPtr.Store(w)
+	gm.log.Info("wal enabled", "dir", dir, "sync", opts.Sync.String())
+	return nil
+}
+
+// RecoverWAL rebuilds the graph from dir — newest checkpoint snapshot
+// plus log tail — and installs it. It must run before EnableWAL; the
+// usual boot sequence is RecoverWAL then EnableWAL on the same dir.
+// While the rebuild and swap are in flight the host server's loading
+// flag is up, so dispatch rejects write commands with -LOADING instead
+// of letting them race the swap (or land on the graph being replaced).
+func (gm *GraphModule) RecoverWAL(dir string) (wal.RecoverStats, error) {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal != nil {
+		return wal.RecoverStats{}, fmt.Errorf("wal enabled in %s; replay must happen before wal_enable", gm.wal.Dir())
+	}
+	gm.setLoading(true)
+	defer gm.setLoading(false)
+	g, stats, err := wal.Recover(dir, sharded.Config{})
+	if err != nil {
+		gm.log.Error("wal recovery failed", "dir", dir, "err", err)
+		return stats, err
+	}
+	gm.swapMu.Lock()
+	gm.g = g
+	gm.swapMu.Unlock()
+	gm.releaseStaleViews()
+	gm.recovered.dir, gm.recovered.g = dir, g
+	gm.recovered.muts = g.Mutations()
+	gm.log.Info("wal recovered", "dir", dir,
+		"edges", g.NumEdges(), "records", stats.Replay.Records,
+		"segments", stats.Replay.Segments, "torn_bytes", stats.Replay.TornBytes,
+		"snapshot", stats.Snapshot)
+	return stats, nil
+}
+
+// Checkpoint snapshots the graph into the WAL directory and truncates
+// the log segments the snapshot supersedes.
+func (gm *GraphModule) Checkpoint() (string, error) {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal == nil {
+		return "", fmt.Errorf("wal not enabled")
+	}
+	path, err := wal.Checkpoint(gm.Graph(), gm.wal)
+	if err != nil {
+		gm.log.Error("checkpoint failed", "err", err)
+		return "", err
+	}
+	gm.log.Info("checkpoint written", "path", path)
+	return path, nil
+}
+
+// CloseWAL detaches and closes the WAL, flushing everything pending.
+func (gm *GraphModule) CloseWAL() error {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.wal == nil {
+		return nil
+	}
+	gm.Graph().SetWAL(nil)
+	err := gm.wal.Close()
+	gm.wal = nil
+	gm.walPtr.Store(nil)
+	if err != nil {
+		gm.log.Error("wal close failed", "err", err)
+	} else {
+		gm.log.Info("wal closed")
+	}
+	return err
+}
+
+func (gm *GraphModule) walEnable(ctx *Ctx) (resp.Value, error) {
+	mode := ""
+	if len(ctx.Args) == 2 {
+		mode = ctx.Args[1]
+	}
+	sync, err := wal.ParseSyncPolicy(mode)
+	if err != nil {
+		return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: err.Error()}
+	}
+	if err := gm.EnableWAL(ctx.Args[0], wal.Options{Sync: sync}); err != nil {
+		return resp.Value{}, &WALError{Cmd: ctx.Name, Err: err}
+	}
+	return resp.Simple("OK"), nil
+}
+
+func (gm *GraphModule) walReplay(ctx *Ctx) (resp.Value, error) {
+	stats, err := gm.RecoverWAL(ctx.Args[0])
+	if err != nil {
+		return resp.Value{}, &WALError{Cmd: ctx.Name, Err: err}
+	}
+	return resp.Bulk(fmt.Sprintf("edges=%d records=%d segments=%d torn_bytes=%d snapshot=%s",
+		gm.Graph().NumEdges(), stats.Replay.Records, stats.Replay.Segments,
+		stats.Replay.TornBytes, stats.Snapshot)), nil
+}
+
+func (gm *GraphModule) checkpoint(ctx *Ctx) (resp.Value, error) {
+	path, err := gm.Checkpoint()
+	if err != nil {
+		return resp.Value{}, &WALError{Cmd: ctx.Name, Err: err}
+	}
+	return resp.Bulk(path), nil
+}

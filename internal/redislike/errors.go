@@ -1,0 +1,119 @@
+package redislike
+
+import (
+	"errors"
+	"fmt"
+
+	"cuckoograph/internal/resp"
+)
+
+// The error taxonomy. Handlers return typed errors instead of
+// hand-formatting "-ERR ..." strings; the dispatch layer maps each type
+// onto a RESP error class (the leading word of the error reply, which
+// Redis clients switch on) exactly once. The taxonomy is what keeps a
+// pipelined connection in sync: every failure mode — bad arity, unknown
+// command, malformed argument, durability failure, recovery in
+// progress, admission control — produces a well-formed error reply in
+// command order, never a closed socket mid-pipeline.
+
+// RESP error classes. Clients see them as the first word of an error
+// reply ("-LOADING ...", "-MAXCLIENTS ...").
+const (
+	ClassErr        = "ERR"        // generic command failure (bad arguments, state)
+	ClassWALErr     = "WALERR"     // acknowledged-write durability failure
+	ClassLoading    = "LOADING"    // write rejected while recovery rebuilds the graph
+	ClassMaxClients = "MAXCLIENTS" // connection admission rejected
+	ClassShutdown   = "SHUTDOWN"   // server is draining
+)
+
+// ArityError reports a call violating the command's registered arity.
+type ArityError struct {
+	Cmd string
+}
+
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("wrong number of arguments for '%s' command", e.Cmd)
+}
+
+// UnknownCommandError reports a name with no registry entry.
+type UnknownCommandError struct {
+	Cmd string
+}
+
+func (e *UnknownCommandError) Error() string {
+	return fmt.Sprintf("unknown command '%s'", e.Cmd)
+}
+
+// BadArgError reports an argument that parsed at the protocol level but
+// is malformed for the command — a non-numeric node id, an odd-length
+// batch, an unparseable epoch.
+type BadArgError struct {
+	Cmd    string
+	Detail string
+}
+
+func (e *BadArgError) Error() string { return e.Cmd + ": " + e.Detail }
+
+// WALError reports that a mutation was applied in memory but its log
+// append failed: the write is NOT durable and the client must not
+// assume it survives a crash. It maps to its own RESP class so clients
+// can distinguish "rejected" from "applied but at risk".
+type WALError struct {
+	Cmd string
+	Err error
+}
+
+func (e *WALError) Error() string { return e.Cmd + ": wal: " + e.Err.Error() }
+func (e *WALError) Unwrap() error { return e.Err }
+
+// LoadingError rejects a write-flagged command while a recovery
+// (wal_replay) is rebuilding and swapping the graph.
+type LoadingError struct{}
+
+func (e *LoadingError) Error() string {
+	return "recovery in progress; write commands are rejected until it completes"
+}
+
+// MaxClientsError rejects a connection over the configured limit. It is
+// written to the excess connection before it is closed — admission
+// control answers, it does not hang.
+type MaxClientsError struct {
+	Limit int
+}
+
+func (e *MaxClientsError) Error() string {
+	return fmt.Sprintf("connection limit of %d reached", e.Limit)
+}
+
+// ShutdownError rejects new connections and new commands once the
+// server has begun draining.
+type ShutdownError struct{}
+
+func (e *ShutdownError) Error() string { return "server is shutting down" }
+
+// errorClass maps a handler error onto its RESP class.
+func errorClass(err error) string {
+	var (
+		walErr  *WALError
+		loading *LoadingError
+		maxc    *MaxClientsError
+		down    *ShutdownError
+	)
+	switch {
+	case errors.As(err, &walErr):
+		return ClassWALErr
+	case errors.As(err, &loading):
+		return ClassLoading
+	case errors.As(err, &maxc):
+		return ClassMaxClients
+	case errors.As(err, &down):
+		return ClassShutdown
+	}
+	return ClassErr
+}
+
+// errorReply renders a typed error as the RESP error value sent to the
+// client: class prefix, then the error's own message.
+func errorReply(err error) resp.Value {
+	return resp.Error(errorClass(err) + " " + err.Error())
+}

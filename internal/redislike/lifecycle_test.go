@@ -1,0 +1,265 @@
+package redislike
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cuckoograph/internal/resp"
+	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/wal"
+)
+
+// TestShutdownReleasesViewsAndWAL is the leak-fix pin: a server stopped
+// mid-flight — retained snapshot views in the ring, WAL open — must
+// tear down in order: drain, release every ring view (LiveViews drops
+// to zero, pinned CoW state freed), then close the WAL (flock released,
+// pending records flushed).
+func TestShutdownReleasesViewsAndWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, gm, _ := startGraphServer(t, Config{})
+	if err := gm.EnableWAL(dir, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if got := s.Dispatch(resp.Command("g.insert", "1", string(rune('0'+i)))); got.Type == '-' {
+			t.Fatalf("insert = %+v", got)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := s.Dispatch(resp.Command("g.snapshot")); got.Type != ':' {
+			t.Fatalf("snapshot = %+v", got)
+		}
+		s.Dispatch(resp.Command("g.insert", "2", string(rune('0'+i))))
+	}
+	if live := gm.Graph().LiveViews(); live != 3 {
+		t.Fatalf("pre-shutdown live views = %d, want 3", live)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if live := gm.Graph().LiveViews(); live != 0 {
+		t.Fatalf("shutdown leaked %d snapshot views", live)
+	}
+	// The WAL closed cleanly: its directory lock is released (a fresh
+	// Open succeeds where a leaked flock would fail) and recovery sees
+	// every acknowledged write.
+	g, _, err := wal.Recover(dir, sharded.Config{})
+	if err != nil {
+		t.Fatalf("recover after shutdown: %v", err)
+	}
+	if want := gm.Graph().NumEdges(); g.NumEdges() != want {
+		t.Fatalf("recovered %d edges, want %d", g.NumEdges(), want)
+	}
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal dir still locked after shutdown: %v", err)
+	}
+	w.Close()
+
+	// Shutdown is idempotent: every later call reports the first result.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestShutdownDrains: an idle connection is interrupted, Shutdown
+// returns promptly, and both new dials and the draining listener are
+// refused afterwards.
+func TestShutdownDrains(t *testing.T) {
+	s, _, addr := startGraphServer(t, Config{})
+	p := dialPipe(t, addr)
+	p.push("PING")
+	p.flush()
+	if got := p.read(); got.Str != "PONG" {
+		t.Fatalf("PING = %+v", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("shutdown hung on an idle connection")
+	}
+
+	// The drained connection is closed.
+	p.c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := resp.Read(p.r); err == nil {
+		t.Fatal("idle connection survived shutdown")
+	}
+	// New dials are refused.
+	if c, err := net.Dial("tcp", addr); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestShutdownFinishesInFlightCommand: a command already executing when
+// Shutdown begins still gets its reply flushed before the connection
+// closes — the drain waits for it instead of cutting it off.
+func TestShutdownFinishesInFlightCommand(t *testing.T) {
+	s, _, addr := startGraphServer(t, Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	err := s.Registry().Register(&Command{
+		Name: "t.slow", Arity: Exactly(0), Summary: "test: block until released",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			close(started)
+			<-release
+			return resp.Simple("SLOW-OK"), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := dialPipe(t, addr)
+	p.push("t.slow")
+	p.flush()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	// Shutdown must be blocked on the in-flight command, not racing past
+	// it: give the drain a moment, then let the handler finish.
+	select {
+	case err := <-done:
+		t.Fatalf("shutdown returned before the in-flight command finished (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := p.read(); got.Str != "SLOW-OK" {
+		t.Fatalf("in-flight reply = %+v", got)
+	}
+	p.c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := resp.Read(p.r); err == nil {
+		t.Fatal("connection survived shutdown")
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics over HTTP and checks the three
+// layers of the exposition: server gauges, per-command meters, and the
+// graph module's engine/snapshot/WAL series.
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, gm, addr := startGraphServer(t, Config{})
+	if err := gm.EnableWAL(dir, wal.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	maddr, err := s.ListenMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := dialPipe(t, addr)
+	p.push("g.insert", "1", "2")
+	p.push("g.insert", "2", "3")
+	p.push("g.query", "1", "2")
+	p.push("g.snapshot")
+	p.push("g.insert", "bad", "2")
+	p.flush()
+	for i := 0; i < 5; i++ {
+		p.read()
+	}
+
+	res, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE cg_commands_total counter",
+		`cg_commands_total{cmd="g.insert"} 3`,
+		`cg_command_errors_total{cmd="g.insert"} 1`,
+		`cg_command_seconds_bucket{cmd="g.query",le="+Inf"} 1`,
+		`cg_command_seconds_count{cmd="g.query"} 1`,
+		"cg_connections_active 1",
+		"cg_connections_accepted_total 1",
+		"cg_uptime_seconds",
+		"cg_graph_edges 2",
+		"cg_graph_nodes 2",
+		"cg_snapshot_live_views 1",
+		"cg_wal_enabled 1",
+		"cg_wal_ops_total 2",
+		"cg_loading 0",
+		"cg_shutting_down 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	res, err = http.Get("http://" + maddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", res.StatusCode)
+	}
+
+	// Shutdown closes the metrics listener too.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + maddr + "/metrics"); err == nil {
+		t.Fatal("metrics listener survived shutdown")
+	}
+}
+
+// TestConnStateCounts: handlers see per-connection state through Ctx.
+func TestConnStateCounts(t *testing.T) {
+	s := NewServer()
+	seen := make(chan uint64, 1)
+	err := s.Registry().Register(&Command{
+		Name: "t.conn", Arity: Exactly(0),
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			if ctx.Conn == nil {
+				seen <- 0
+			} else {
+				seen <- ctx.Conn.Commands
+			}
+			return resp.Simple("OK"), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := dialPipe(t, addr)
+	p.push("PING")
+	p.push("t.conn")
+	p.flush()
+	p.read()
+	p.read()
+	if got := <-seen; got != 2 {
+		t.Fatalf("ConnState.Commands = %d, want 2", got)
+	}
+}

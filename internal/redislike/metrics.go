@@ -1,0 +1,265 @@
+package redislike
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the command-latency histogram bucket upper bounds
+// in seconds: powers of four from 1µs to ~4s, so one set of buckets
+// resolves both a 2µs g.query and a multi-second graph.pagerank.
+var latencyBounds = [...]float64{
+	1e-06, 4e-06, 1.6e-05, 6.4e-05, 2.56e-04, 1.024e-03,
+	4.096e-03, 1.6384e-02, 6.5536e-02, 2.62144e-01, 1.048576, 4.194304,
+}
+
+// cmdMetrics meters one command: call/error counters and a cumulative
+// latency histogram. All fields are atomics — dispatch records with two
+// atomic adds and never takes a lock.
+type cmdMetrics struct {
+	calls   atomic.Uint64
+	errs    atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [len(latencyBounds) + 1]atomic.Uint64 // +1: the +Inf bucket
+}
+
+func (m *cmdMetrics) observe(d time.Duration, failed bool) {
+	m.calls.Add(1)
+	if failed {
+		m.errs.Add(1)
+	}
+	m.sumNS.Add(uint64(d.Nanoseconds()))
+	secs := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && secs > latencyBounds[i] {
+		i++
+	}
+	m.buckets[i].Add(1)
+}
+
+// Metrics is the server's observability state: per-command meters plus
+// connection-lifecycle counters, exported in Prometheus text format.
+type Metrics struct {
+	start time.Time
+	cmds  sync.Map // command name -> *cmdMetrics
+
+	connsAccepted atomic.Uint64
+	connsRejected atomic.Uint64
+	connsActive   atomic.Int64
+}
+
+func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// record meters one dispatched command under its resolved name;
+// unknown commands pool under "unknown".
+func (m *Metrics) record(name string, d time.Duration, failed bool) {
+	v, ok := m.cmds.Load(name)
+	if !ok {
+		v, _ = m.cmds.LoadOrStore(name, &cmdMetrics{})
+	}
+	v.(*cmdMetrics).observe(d, failed)
+}
+
+// CommandCalls reports how many times name has been dispatched.
+func (m *Metrics) CommandCalls(name string) uint64 {
+	if v, ok := m.cmds.Load(name); ok {
+		return v.(*cmdMetrics).calls.Load()
+	}
+	return 0
+}
+
+// ConnsActive reports the currently tracked connections.
+func (m *Metrics) ConnsActive() int64 { return m.connsActive.Load() }
+
+// MetricsWriter emits Prometheus text-format samples, writing each
+// metric's HELP/TYPE header exactly once however many labeled samples
+// it gets. Modules receive one in their Metrics hook to export engine
+// state under the same scrape.
+type MetricsWriter struct {
+	w    *bufio.Writer
+	seen map[string]bool
+	err  error
+}
+
+func newMetricsWriter(w io.Writer) *MetricsWriter {
+	return &MetricsWriter{w: bufio.NewWriter(w), seen: make(map[string]bool)}
+}
+
+func (mw *MetricsWriter) header(name, typ, help string) {
+	if mw.seen[name] || mw.err != nil {
+		return
+	}
+	mw.seen[name] = true
+	_, err := fmt.Fprintf(mw.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	if mw.err == nil {
+		mw.err = err
+	}
+}
+
+func (mw *MetricsWriter) sample(name, labels string, v float64) {
+	if mw.err != nil {
+		return
+	}
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(mw.w, "%s %s\n", name, formatValue(v))
+	} else {
+		_, err = fmt.Fprintf(mw.w, "%s{%s} %s\n", name, labels, formatValue(v))
+	}
+	mw.err = err
+}
+
+func formatValue(v float64) string {
+	if v == float64(uint64(v)) {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter emits one counter sample. labels alternate key, value.
+func (mw *MetricsWriter) Counter(name, help string, v float64, labels ...string) {
+	mw.header(name, "counter", help)
+	mw.sample(name, formatLabels(labels), v)
+}
+
+// Gauge emits one gauge sample. labels alternate key, value.
+func (mw *MetricsWriter) Gauge(name, help string, v float64, labels ...string) {
+	mw.header(name, "gauge", help)
+	mw.sample(name, formatLabels(labels), v)
+}
+
+func formatLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	out := ""
+	for i := 0; i+1 < len(kv); i += 2 {
+		if out != "" {
+			out += ","
+		}
+		out += kv[i] + `="` + kv[i+1] + `"`
+	}
+	return out
+}
+
+// Flush drains the buffered output, reporting the first write error.
+func (mw *MetricsWriter) Flush() error {
+	if err := mw.w.Flush(); mw.err == nil {
+		mw.err = err
+	}
+	return mw.err
+}
+
+// writeCommandMetrics emits the per-command counters and histograms.
+func (m *Metrics) writeCommandMetrics(mw *MetricsWriter, reg *Registry) {
+	mw.header("cg_commands_total", "counter", "Commands dispatched, by command name.")
+	mw.header("cg_command_errors_total", "counter", "Commands that returned an error reply, by command name.")
+	mw.header("cg_command_seconds", "histogram", "Command service time in seconds, by command name.")
+	// Walk the registry (plus the pooled "unknown" meter) in sorted
+	// order so scrapes are deterministic.
+	names := make([]string, 0, reg.Len()+1)
+	for _, c := range reg.Commands() {
+		names = append(names, c.Name)
+	}
+	if _, ok := m.cmds.Load("unknown"); ok {
+		names = append(names, "unknown")
+	}
+	for _, name := range names {
+		v, ok := m.cmds.Load(name)
+		if !ok {
+			continue
+		}
+		cm := v.(*cmdMetrics)
+		label := `cmd="` + name + `"`
+		mw.sample("cg_commands_total", label, float64(cm.calls.Load()))
+		mw.sample("cg_command_errors_total", label, float64(cm.errs.Load()))
+		cum := uint64(0)
+		for i, b := range latencyBounds {
+			cum += cm.buckets[i].Load()
+			mw.sample("cg_command_seconds_bucket",
+				label+`,le="`+strconv.FormatFloat(b, 'g', -1, 64)+`"`, float64(cum))
+		}
+		cum += cm.buckets[len(latencyBounds)].Load()
+		mw.sample("cg_command_seconds_bucket", label+`,le="+Inf"`, float64(cum))
+		mw.sample("cg_command_seconds_sum", label, float64(cm.sumNS.Load())/1e9)
+		mw.sample("cg_command_seconds_count", label, float64(cum))
+	}
+}
+
+// WriteMetrics renders the full scrape: server gauges, per-command
+// meters, then every module's Metrics hook.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	mw := newMetricsWriter(w)
+	m := s.metrics
+	mw.Gauge("cg_uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds())
+	mw.Gauge("cg_connections_active", "Connections currently tracked by the server.", float64(m.connsActive.Load()))
+	mw.Counter("cg_connections_accepted_total", "Connections admitted by the server.", float64(m.connsAccepted.Load()))
+	mw.Counter("cg_connections_rejected_total", "Connections refused by admission control (limit or shutdown).", float64(m.connsRejected.Load()))
+	mw.Gauge("cg_loading", "1 while a recovery swap is rejecting write commands.", boolGauge(s.loading.Load()))
+	mw.Gauge("cg_shutting_down", "1 once the server has begun draining.", boolGauge(s.draining()))
+	mw.Gauge("cg_commands_registered", "Commands in the registry.", float64(s.reg.Len()))
+	m.writeCommandMetrics(mw, s.reg)
+	s.mu.RLock()
+	mods := append([]*Module(nil), s.modules...)
+	s.mu.RUnlock()
+	for _, mod := range mods {
+		if mod.Metrics != nil {
+			mod.Metrics(mw)
+		}
+	}
+	return mw.Flush()
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MetricsHandler serves the Prometheus text exposition of WriteMetrics.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WriteMetrics(w); err != nil {
+			s.log.Warn("metrics scrape failed", "err", err)
+		}
+	})
+}
+
+// ListenMetrics starts the observability HTTP listener on addr, serving
+// GET /metrics (Prometheus text format) and GET /healthz (200 while
+// serving, 503 once draining). It returns the bound address; the
+// listener is closed during Shutdown.
+func (s *Server) ListenMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.MetricsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux}
+	s.connMu.Lock()
+	s.metricsSrv, s.metricsAddr = srv, ln.Addr().String()
+	s.connMu.Unlock()
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.log.Warn("metrics listener failed", "err", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

@@ -3,37 +3,50 @@ package redislike
 import (
 	"bytes"
 	"fmt"
-	"sort"
+	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
-	"cuckoograph/internal/analytics"
-	"cuckoograph/internal/core"
-	"cuckoograph/internal/graphstore"
 	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/wal"
 )
 
 // GraphModule wraps a CuckooGraph as a redislike module, providing the
-// extended commands of §V-F — insert, del, query, getneighbors — and
-// the save_rdb/load_rdb persistence interfaces. The graph is the
-// sharded concurrent engine, so handlers need no per-command mutual
-// exclusion: commands on different source nodes run in parallel, each
-// taking only the owning shard's lock. swapMu (read-locked by every
-// handler, write-locked only by load_rdb) exists solely so a restore
-// cannot swap the graph out from under an in-flight command — without
-// it an acknowledged write could land on the discarded graph.
+// extended commands of §V-F — insert, del, query, getneighbors — plus
+// batching, snapshots, analytics, durability control and the
+// save_rdb/load_rdb persistence interfaces. The graph is the sharded
+// concurrent engine, so handlers need no per-command mutual exclusion:
+// commands on different source nodes run in parallel, each taking only
+// the owning shard's lock. swapMu (read-locked by every data-plane
+// handler via dataCmd, write-locked only by load_rdb/recovery) exists
+// solely so a restore cannot swap the graph out from under an in-flight
+// command — without it an acknowledged write could land on the
+// discarded graph.
+//
+// Commands are registered through the Command registry (see
+// moduleCommands); the registrations carry the arity and flag metadata
+// the server enforces and introspects.
 type GraphModule struct {
 	swapMu sync.RWMutex
 	g      *sharded.Graph
+
+	// host is the server this module is loaded into (nil until OnLoad):
+	// the path to the server's loading flag and logger.
+	host atomic.Pointer[Server]
+	log  *slog.Logger
 
 	// walMu serialises the durability control plane — enable, replay,
 	// checkpoint, close — against itself and against load_rdb's graph
 	// swap. The data plane (insert/del/query) never takes it.
 	walMu sync.Mutex
 	wal   *wal.WAL
+	// walPtr mirrors wal for lock-free readers (/metrics, g.info): a
+	// scrape must not queue behind a checkpoint holding walMu.
+	walPtr atomic.Pointer[wal.WAL]
 	// recovered remembers the last RecoverWAL so EnableWAL on the same
 	// directory can skip its initial checkpoint: the directory already
 	// describes that exact graph. muts is the graph's monotonic applied-
@@ -70,31 +83,96 @@ const DefaultSnapshotRing = 8
 
 // NewGraphModule returns the CuckooGraph module ready for LoadModule.
 func NewGraphModule() (*GraphModule, *Module) {
-	gm := &GraphModule{g: sharded.New(sharded.Config{}), viewCap: DefaultSnapshotRing}
+	gm := &GraphModule{
+		g:       sharded.New(sharded.Config{}),
+		viewCap: DefaultSnapshotRing,
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
 	m := &Module{
-		Name: "cuckoograph",
-		Commands: map[string]HandlerFunc{
-			"g.insert":       gm.insert,
-			"g.del":          gm.del,
-			"g.minsert":      gm.minsert,
-			"g.mdel":         gm.mdel,
-			"g.query":        gm.query,
-			"g.getneighbors": gm.getNeighbors,
-			"g.degree":       gm.degree,
-			"g.nodes":        gm.nodes,
-			"g.snapshot":     gm.snapshot,
-			"g.snapshots":    gm.snapshots,
-			"g.release":      gm.release,
-			"graph.bfs":      gm.graphBFS,
-			"graph.pagerank": gm.graphPageRank,
-			"wal_enable":     gm.walEnable,
-			"wal_replay":     gm.walReplay,
-			"checkpoint":     gm.checkpoint,
-		},
-		SaveRDB: gm.saveRDB,
-		LoadRDB: gm.loadRDB,
+		Name:     "cuckoograph",
+		Commands: gm.moduleCommands(),
+		SaveRDB:  gm.saveRDB,
+		LoadRDB:  gm.loadRDB,
+		OnLoad:   gm.onLoad,
+		Metrics:  gm.collectMetrics,
+		Close:    gm.Close,
 	}
 	return gm, m
+}
+
+// moduleCommands is the module's registry contribution: one Command per
+// served name, with the arity and flags dispatch enforces and COMMAND /
+// G.INFO report. Data-plane commands go through dataCmd, which resolves
+// the graph handle into the Ctx under the swap lock; control-plane
+// commands coordinate their own locking.
+func (gm *GraphModule) moduleCommands() []*Command {
+	return []*Command{
+		{Name: "g.insert", Arity: Exactly(2), Flags: FlagWrite,
+			Summary: "insert edge <u> <v>; replies 1 if newly added",
+			Handler: gm.dataCmd(gm.insert)},
+		{Name: "g.del", Arity: Exactly(2), Flags: FlagWrite,
+			Summary: "delete edge <u> <v>; replies 1 if removed",
+			Handler: gm.dataCmd(gm.del)},
+		{Name: "g.minsert", Arity: AtLeast(2), Flags: FlagWrite,
+			Summary: "batched insert of <u> <v> pairs; replies with edges added",
+			Handler: gm.dataCmd(gm.minsert)},
+		{Name: "g.mdel", Arity: AtLeast(2), Flags: FlagWrite,
+			Summary: "batched delete of <u> <v> pairs; replies with edges removed",
+			Handler: gm.dataCmd(gm.mdel)},
+		{Name: "g.query", Arity: Exactly(2), Flags: FlagRead,
+			Summary: "edge membership of <u> <v>",
+			Handler: gm.dataCmd(gm.query)},
+		{Name: "g.getneighbors", Arity: Exactly(1), Flags: FlagRead,
+			Summary: "successors of <u>",
+			Handler: gm.dataCmd(gm.getNeighbors)},
+		{Name: "g.degree", Arity: Exactly(1), Flags: FlagRead,
+			Summary: "out-degree of <u>",
+			Handler: gm.dataCmd(gm.degree)},
+		{Name: "g.nodes", Arity: Exactly(0), Flags: FlagRead,
+			Summary: "every node with at least one out-edge",
+			Handler: gm.dataCmd(gm.nodes)},
+		{Name: "g.snapshot", Arity: Exactly(0), Flags: FlagAdmin,
+			Summary: "freeze a consistent view; replies with its epoch",
+			Handler: gm.snapshot},
+		{Name: "g.snapshots", Arity: Exactly(0), Flags: FlagAdmin,
+			Summary: "retained snapshot epochs, oldest first",
+			Handler: gm.snapshots},
+		{Name: "g.release", Arity: Exactly(1), Flags: FlagAdmin,
+			Summary: "drop the retained snapshot with <epoch>",
+			Handler: gm.release},
+		{Name: "g.info", Arity: Between(0, 1), Flags: FlagRead | FlagAdmin,
+			Summary: "server, registry, graph, snapshot and wal state [section]",
+			Handler: gm.info},
+		{Name: "graph.bfs", Arity: Between(1, 2), Flags: FlagRead,
+			Summary: "BFS from <root> on a frozen view [epoch]",
+			Handler: gm.graphBFS},
+		{Name: "graph.pagerank", Arity: Between(1, 2), Flags: FlagRead,
+			Summary: "PageRank with <iters> iterations on a frozen view [epoch]",
+			Handler: gm.graphPageRank},
+		{Name: "wal_enable", Arity: Between(1, 2), Flags: FlagAdmin,
+			Summary: "enable the write-ahead log in <dir> [always|nosync|async]",
+			Handler: gm.walEnable},
+		{Name: "wal_replay", Arity: Exactly(1), Flags: FlagAdmin,
+			Summary: "rebuild the graph from <dir> (checkpoint + log tail)",
+			Handler: gm.walReplay},
+		{Name: "checkpoint", Arity: Exactly(0), Flags: FlagAdmin,
+			Summary: "snapshot the graph into the wal dir and truncate the log",
+			Handler: gm.checkpoint},
+	}
+}
+
+// onLoad wires the module to its host server: logger and loading flag.
+func (gm *GraphModule) onLoad(s *Server) {
+	gm.host.Store(s)
+	gm.log = s.Logger().With("module", "cuckoograph")
+}
+
+// setLoading flips the host server's loading flag (a no-op when the
+// module is used without a server, e.g. direct API tests).
+func (gm *GraphModule) setLoading(on bool) {
+	if s := gm.host.Load(); s != nil {
+		s.SetLoading(on)
+	}
 }
 
 // Graph exposes the underlying sharded graph for in-process inspection.
@@ -112,182 +190,37 @@ func (gm *GraphModule) withGraph(f func(g *sharded.Graph)) {
 	f(gm.g)
 }
 
-func parseEdge(args []string) (u, v uint64, err error) {
-	if len(args) != 2 {
-		return 0, 0, fmt.Errorf("expected <u> <v>")
+// dataCmd wraps a data-plane handler: the current graph is resolved
+// into ctx.Graph under the swap lock for the duration of the handler,
+// so a restore cannot swap the graph mid-command. Control-plane
+// handlers (snapshots, wal, info) must NOT use it — they take swapMu or
+// walMu themselves, and holding the read lock across them could
+// deadlock against a writer.
+func (gm *GraphModule) dataCmd(h HandlerFunc) HandlerFunc {
+	return func(ctx *Ctx) (resp.Value, error) {
+		gm.swapMu.RLock()
+		defer gm.swapMu.RUnlock()
+		ctx.Graph = gm.g
+		return h(ctx)
 	}
-	u, err = strconv.ParseUint(args[0], 10, 64)
-	if err != nil {
-		return 0, 0, fmt.Errorf("bad node id %q", args[0])
-	}
-	v, err = strconv.ParseUint(args[1], 10, 64)
-	if err != nil {
-		return 0, 0, fmt.Errorf("bad node id %q", args[1])
-	}
-	return u, v, nil
 }
 
-func (gm *GraphModule) insert(args []string) resp.Value {
-	u, v, err := parseEdge(args)
-	if err != nil {
-		return resp.Error("ERR g.insert: " + err.Error())
+// Close is the module's ordered teardown, run by Shutdown after the
+// connection drain: release every retained snapshot view (so the ring
+// cannot pin CoW state past process exit) and then close the WAL,
+// flushing everything pending. Both steps are idempotent.
+func (gm *GraphModule) Close() error {
+	gm.viewMu.Lock()
+	released := len(gm.views)
+	for _, e := range gm.views {
+		e.v.Release()
 	}
-	added := false
-	var logErr error
-	gm.withGraph(func(g *sharded.Graph) {
-		added = g.InsertEdge(u, v)
-		logErr = g.LogErr()
-	})
-	if logErr != nil {
-		// The edge is in memory but not durably logged; a client that
-		// sees this error must not assume the write survives a crash.
-		return resp.Error("ERR g.insert: wal: " + logErr.Error())
+	gm.views = nil
+	gm.viewMu.Unlock()
+	if released > 0 {
+		gm.log.Info("released snapshot ring", "views", released)
 	}
-	if added {
-		return resp.Integer(1)
-	}
-	return resp.Integer(0)
-}
-
-func (gm *GraphModule) del(args []string) resp.Value {
-	u, v, err := parseEdge(args)
-	if err != nil {
-		return resp.Error("ERR g.del: " + err.Error())
-	}
-	deleted := false
-	var logErr error
-	gm.withGraph(func(g *sharded.Graph) {
-		deleted = g.DeleteEdge(u, v)
-		logErr = g.LogErr()
-	})
-	if logErr != nil {
-		return resp.Error("ERR g.del: wal: " + logErr.Error())
-	}
-	if deleted {
-		return resp.Integer(1)
-	}
-	return resp.Integer(0)
-}
-
-// parseBatch decodes ⟨u,v⟩ pairs from a variadic command's arguments
-// into a mutation batch of the given kind.
-func parseBatch(kind core.OpKind, args []string) (core.Batch, error) {
-	if len(args) == 0 || len(args)%2 != 0 {
-		return nil, fmt.Errorf("expected <u> <v> [<u> <v> ...]")
-	}
-	b := make(core.Batch, 0, len(args)/2)
-	for i := 0; i < len(args); i += 2 {
-		u, err := strconv.ParseUint(args[i], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad node id %q", args[i])
-		}
-		v, err := strconv.ParseUint(args[i+1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad node id %q", args[i+1])
-		}
-		b = append(b, core.Op{Kind: kind, U: u, V: v})
-	}
-	return b, nil
-}
-
-// minsert is the batched insert: G.MINSERT u1 v1 [u2 v2 ...] applies
-// every pair through the shard-parallel batch path and replies with the
-// number of newly inserted edges.
-func (gm *GraphModule) minsert(args []string) resp.Value {
-	b, err := parseBatch(core.OpInsert, args)
-	if err != nil {
-		return resp.Error("ERR g.minsert: " + err.Error())
-	}
-	var res core.BatchResult
-	var logErr error
-	gm.withGraph(func(g *sharded.Graph) {
-		res = g.ApplyBatch(b)
-		logErr = g.LogErr()
-	})
-	if logErr != nil {
-		return resp.Error("ERR g.minsert: wal: " + logErr.Error())
-	}
-	return resp.Integer(int64(res.Inserted))
-}
-
-// mdel is the batched delete: G.MDEL u1 v1 [u2 v2 ...] replies with the
-// number of edges actually removed.
-func (gm *GraphModule) mdel(args []string) resp.Value {
-	b, err := parseBatch(core.OpDelete, args)
-	if err != nil {
-		return resp.Error("ERR g.mdel: " + err.Error())
-	}
-	var res core.BatchResult
-	var logErr error
-	gm.withGraph(func(g *sharded.Graph) {
-		res = g.ApplyBatch(b)
-		logErr = g.LogErr()
-	})
-	if logErr != nil {
-		return resp.Error("ERR g.mdel: wal: " + logErr.Error())
-	}
-	return resp.Integer(int64(res.Deleted))
-}
-
-func (gm *GraphModule) query(args []string) resp.Value {
-	u, v, err := parseEdge(args)
-	if err != nil {
-		return resp.Error("ERR g.query: " + err.Error())
-	}
-	has := false
-	gm.withGraph(func(g *sharded.Graph) { has = g.HasEdge(u, v) })
-	if has {
-		return resp.Integer(1)
-	}
-	return resp.Integer(0)
-}
-
-func (gm *GraphModule) getNeighbors(args []string) resp.Value {
-	if len(args) != 1 {
-		return resp.Error("ERR g.getneighbors: expected <u>")
-	}
-	u, err := strconv.ParseUint(args[0], 10, 64)
-	if err != nil {
-		return resp.Error("ERR g.getneighbors: bad node id " + strconv.Quote(args[0]))
-	}
-	var out []resp.Value
-	gm.withGraph(func(g *sharded.Graph) {
-		g.ForEachSuccessor(u, func(v uint64) bool {
-			out = append(out, resp.Bulk(strconv.FormatUint(v, 10)))
-			return true
-		})
-	})
-	return resp.Array(out...)
-}
-
-// degree replies with u's out-degree — the engine has always known it,
-// the wire protocol just never asked.
-func (gm *GraphModule) degree(args []string) resp.Value {
-	if len(args) != 1 {
-		return resp.Error("ERR g.degree: expected <u>")
-	}
-	u, err := strconv.ParseUint(args[0], 10, 64)
-	if err != nil {
-		return resp.Error("ERR g.degree: bad node id " + strconv.Quote(args[0]))
-	}
-	n := 0
-	gm.withGraph(func(g *sharded.Graph) { n = g.Degree(u) })
-	return resp.Integer(int64(n))
-}
-
-// nodes replies with every source node (nodes with ≥1 out-edge).
-func (gm *GraphModule) nodes(args []string) resp.Value {
-	if len(args) != 0 {
-		return resp.Error("ERR g.nodes: expected no arguments")
-	}
-	var out []resp.Value
-	gm.withGraph(func(g *sharded.Graph) {
-		g.ForEachNode(func(u uint64) bool {
-			out = append(out, resp.Bulk(strconv.FormatUint(u, 10)))
-			return true
-		})
-	})
-	return resp.Array(out...)
+	return gm.CloseWAL()
 }
 
 // SetSnapshotRing bounds how many snapshot epochs are retained for
@@ -351,173 +284,6 @@ func (gm *GraphModule) viewAt(epoch uint64) *sharded.View {
 	return nil
 }
 
-// snapshot takes a frozen view of the graph, retains it in the
-// time-travel ring (evicting the oldest past the bound) and replies
-// with its epoch tag. The ring only ever holds views of the current
-// graph: if a restore swaps the graph between taking the view and
-// ringing it, the stale view is dropped and the snapshot retried —
-// otherwise the ring would pin a dead graph's CoW state and, since a
-// fresh graph's epochs restart at 1, could serve pre-restore data
-// under a colliding epoch tag.
-func (gm *GraphModule) snapshot(args []string) resp.Value {
-	if len(args) != 0 {
-		return resp.Error("ERR g.snapshot: expected no arguments")
-	}
-	for {
-		var g *sharded.Graph
-		var v *sharded.View
-		gm.withGraph(func(cur *sharded.Graph) {
-			g = cur
-			v = cur.Snapshot()
-		})
-		gm.viewMu.Lock()
-		if gm.Graph() != g {
-			gm.viewMu.Unlock()
-			v.Release()
-			continue
-		}
-		gm.views = append(gm.views, ringEntry{g: g, v: v})
-		for len(gm.views) > gm.viewCap {
-			gm.views[0].v.Release()
-			gm.views = gm.views[1:]
-		}
-		gm.viewMu.Unlock()
-		return resp.Integer(int64(v.Epoch()))
-	}
-}
-
-// snapshots lists the retained epochs of the current graph, oldest
-// first (stale entries awaiting releaseStaleViews are invisible).
-func (gm *GraphModule) snapshots(args []string) resp.Value {
-	if len(args) != 0 {
-		return resp.Error("ERR g.snapshots: expected no arguments")
-	}
-	cur := gm.Graph()
-	gm.viewMu.Lock()
-	defer gm.viewMu.Unlock()
-	out := make([]resp.Value, 0, len(gm.views))
-	for _, e := range gm.views {
-		if e.g == cur {
-			out = append(out, resp.Integer(int64(e.v.Epoch())))
-		}
-	}
-	return resp.Array(out...)
-}
-
-// release drops the retained view with the given epoch, replying 1 if
-// it existed.
-func (gm *GraphModule) release(args []string) resp.Value {
-	if len(args) != 1 {
-		return resp.Error("ERR g.release: expected <epoch>")
-	}
-	epoch, err := strconv.ParseUint(args[0], 10, 64)
-	if err != nil {
-		return resp.Error("ERR g.release: bad epoch " + strconv.Quote(args[0]))
-	}
-	cur := gm.Graph()
-	gm.viewMu.Lock()
-	defer gm.viewMu.Unlock()
-	for i, e := range gm.views {
-		// Only current-graph entries are addressable; a stale entry with
-		// a colliding epoch belongs to releaseStaleViews, not the client.
-		if e.g == cur && e.v.Epoch() == epoch {
-			e.v.Release()
-			gm.views = append(gm.views[:i], gm.views[i+1:]...)
-			return resp.Integer(1)
-		}
-	}
-	return resp.Integer(0)
-}
-
-// analyticsStore resolves the store an epoch-tagged analytics command
-// runs on: a retained view for an explicit epoch (with its own
-// reference, so a concurrent g.release or ring eviction cannot panic
-// the pass mid-flight), or a fresh ephemeral snapshot of now when the
-// epoch is omitted — either way the pass runs on a frozen view, never
-// blocks writers, and cleanup drops exactly the reference it holds.
-// Views satisfy graphstore.Indexed, so every kernel the command calls
-// runs on the view's CSR index: compiled lazily on the first analytics
-// command against an epoch, memoized on the view for every later
-// command at that epoch, and freed when the ring drops the snapshot.
-func (gm *GraphModule) analyticsStore(epochArg string) (graphstore.Store, func(), error) {
-	if epochArg != "" {
-		epoch, err := strconv.ParseUint(epochArg, 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("bad epoch %q", epochArg)
-		}
-		v := gm.viewAt(epoch)
-		if v == nil {
-			return nil, nil, fmt.Errorf("no retained snapshot with epoch %d (see g.snapshots)", epoch)
-		}
-		return v, v.Release, nil
-	}
-	var v *sharded.View
-	gm.withGraph(func(g *sharded.Graph) { v = g.Snapshot() })
-	return v, v.Release, nil
-}
-
-// graphBFS is GRAPH.BFS <root> [epoch]: breadth-first traversal over a
-// frozen view, replying with the visited nodes in traversal order.
-func (gm *GraphModule) graphBFS(args []string) resp.Value {
-	if len(args) < 1 || len(args) > 2 {
-		return resp.Error("ERR graph.bfs: expected <root> [epoch]")
-	}
-	root, err := strconv.ParseUint(args[0], 10, 64)
-	if err != nil {
-		return resp.Error("ERR graph.bfs: bad node id " + strconv.Quote(args[0]))
-	}
-	epochArg := ""
-	if len(args) == 2 {
-		epochArg = args[1]
-	}
-	s, cleanup, err := gm.analyticsStore(epochArg)
-	if err != nil {
-		return resp.Error("ERR graph.bfs: " + err.Error())
-	}
-	defer cleanup()
-	order := analytics.BFS(s, root)
-	out := make([]resp.Value, len(order))
-	for i, u := range order {
-		out[i] = resp.Integer(int64(u))
-	}
-	return resp.Array(out...)
-}
-
-// graphPageRank is GRAPH.PAGERANK <iters> [epoch]: the power method
-// over a frozen view, replying with a flat array of node, rank pairs
-// sorted by node id.
-func (gm *GraphModule) graphPageRank(args []string) resp.Value {
-	if len(args) < 1 || len(args) > 2 {
-		return resp.Error("ERR graph.pagerank: expected <iters> [epoch]")
-	}
-	iters, err := strconv.Atoi(args[0])
-	if err != nil || iters < 1 {
-		return resp.Error("ERR graph.pagerank: bad iteration count " + strconv.Quote(args[0]))
-	}
-	epochArg := ""
-	if len(args) == 2 {
-		epochArg = args[1]
-	}
-	s, cleanup, err := gm.analyticsStore(epochArg)
-	if err != nil {
-		return resp.Error("ERR graph.pagerank: " + err.Error())
-	}
-	defer cleanup()
-	rank := analytics.PageRank(s, iters)
-	nodes := make([]uint64, 0, len(rank))
-	for u := range rank {
-		nodes = append(nodes, u)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	out := make([]resp.Value, 0, 2*len(nodes))
-	for _, u := range nodes {
-		out = append(out,
-			resp.Integer(int64(u)),
-			resp.Bulk(strconv.FormatFloat(rank[u], 'g', 10, 64)))
-	}
-	return resp.Array(out...)
-}
-
 // saveRDB serialises the graph in the core snapshot format. The sharded
 // Save freezes the graph only briefly and streams from a frozen view,
 // so the snapshot is a consistent cut and commands keep flowing while
@@ -553,127 +319,8 @@ func (gm *GraphModule) loadRDB(data []byte) error {
 			return fmt.Errorf("cuckoograph rdb: checkpoint after restore: %w", err)
 		}
 	}
+	gm.log.Info("rdb restored", "edges", g.NumEdges(), "nodes", g.NumNodes())
 	return nil
-}
-
-// EnableWAL opens (creating if needed) the write-ahead log in dir and
-// attaches it to the graph, making every subsequent acknowledged
-// mutation durable. If the graph already holds edges, an initial
-// checkpoint captures them so recovery of dir is complete on its own —
-// unless the graph is exactly the one RecoverWAL just rebuilt from this
-// same directory, in which case the directory already describes it and
-// the (full-snapshot-sized) checkpoint is skipped.
-func (gm *GraphModule) EnableWAL(dir string, opts wal.Options) error {
-	gm.walMu.Lock()
-	defer gm.walMu.Unlock()
-	if gm.wal != nil {
-		return fmt.Errorf("wal already enabled in %s", gm.wal.Dir())
-	}
-	w, err := wal.Open(dir, opts)
-	if err != nil {
-		return err
-	}
-	g := gm.Graph()
-	g.SetWAL(w)
-	r := gm.recovered
-	coveredByDir := r.g == g && r.dir == dir && g.Mutations() == r.muts
-	if g.NumEdges() > 0 && !coveredByDir {
-		if _, err := wal.Checkpoint(g, w); err != nil {
-			g.SetWAL(nil)
-			w.Close()
-			return err
-		}
-	}
-	gm.wal = w
-	return nil
-}
-
-// RecoverWAL rebuilds the graph from dir — newest checkpoint snapshot
-// plus log tail — and installs it. It must run before EnableWAL; the
-// usual boot sequence is RecoverWAL then EnableWAL on the same dir.
-func (gm *GraphModule) RecoverWAL(dir string) (wal.RecoverStats, error) {
-	gm.walMu.Lock()
-	defer gm.walMu.Unlock()
-	if gm.wal != nil {
-		return wal.RecoverStats{}, fmt.Errorf("wal enabled in %s; replay must happen before wal_enable", gm.wal.Dir())
-	}
-	g, stats, err := wal.Recover(dir, sharded.Config{})
-	if err != nil {
-		return stats, err
-	}
-	gm.swapMu.Lock()
-	gm.g = g
-	gm.swapMu.Unlock()
-	gm.releaseStaleViews()
-	gm.recovered.dir, gm.recovered.g = dir, g
-	gm.recovered.muts = g.Mutations()
-	return stats, nil
-}
-
-// Checkpoint snapshots the graph into the WAL directory and truncates
-// the log segments the snapshot supersedes.
-func (gm *GraphModule) Checkpoint() (string, error) {
-	gm.walMu.Lock()
-	defer gm.walMu.Unlock()
-	if gm.wal == nil {
-		return "", fmt.Errorf("wal not enabled")
-	}
-	return wal.Checkpoint(gm.Graph(), gm.wal)
-}
-
-// CloseWAL detaches and closes the WAL, flushing everything pending.
-func (gm *GraphModule) CloseWAL() error {
-	gm.walMu.Lock()
-	defer gm.walMu.Unlock()
-	if gm.wal == nil {
-		return nil
-	}
-	gm.Graph().SetWAL(nil)
-	err := gm.wal.Close()
-	gm.wal = nil
-	return err
-}
-
-func (gm *GraphModule) walEnable(args []string) resp.Value {
-	if len(args) < 1 || len(args) > 2 {
-		return resp.Error("ERR wal_enable: expected <dir> [always|nosync|async]")
-	}
-	mode := ""
-	if len(args) == 2 {
-		mode = args[1]
-	}
-	sync, err := wal.ParseSyncPolicy(mode)
-	if err != nil {
-		return resp.Error("ERR wal_enable: " + err.Error())
-	}
-	if err := gm.EnableWAL(args[0], wal.Options{Sync: sync}); err != nil {
-		return resp.Error("ERR wal_enable: " + err.Error())
-	}
-	return resp.Simple("OK")
-}
-
-func (gm *GraphModule) walReplay(args []string) resp.Value {
-	if len(args) != 1 {
-		return resp.Error("ERR wal_replay: expected <dir>")
-	}
-	stats, err := gm.RecoverWAL(args[0])
-	if err != nil {
-		return resp.Error("ERR wal_replay: " + err.Error())
-	}
-	return resp.Bulk(fmt.Sprintf("edges=%d records=%d segments=%d torn_bytes=%d snapshot=%s",
-		gm.Graph().NumEdges(), stats.Replay.Records, stats.Replay.Segments,
-		stats.Replay.TornBytes, stats.Snapshot))
-}
-
-func (gm *GraphModule) checkpoint(args []string) resp.Value {
-	if len(args) != 0 {
-		return resp.Error("ERR checkpoint: expected no arguments")
-	}
-	path, err := gm.Checkpoint()
-	if err != nil {
-		return resp.Error("ERR checkpoint: " + err.Error())
-	}
-	return resp.Bulk(path)
 }
 
 // AOFRewrite emits the command stream that rebuilds the graph — the

@@ -1,0 +1,166 @@
+package redislike
+
+import (
+	"strings"
+	"testing"
+
+	"cuckoograph/internal/resp"
+)
+
+func TestRegistryRegister(t *testing.T) {
+	r := NewRegistry()
+	ok := &Command{Name: "G.Test", Arity: Exactly(1),
+		Handler: func(*Ctx) (resp.Value, error) { return resp.Simple("OK"), nil }}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	// Names are stored lowercased and looked up lowercased.
+	if _, found := r.Lookup("g.test"); !found {
+		t.Fatal("lowercased lookup failed")
+	}
+	if err := r.Register(ok); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register(&Command{Name: "nohandler", Arity: Exactly(0)}); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if err := r.Register(&Command{Name: "", Arity: Exactly(0),
+		Handler: func(*Ctx) (resp.Value, error) { return resp.Value{}, nil }}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestRegistryCommandsSorted(t *testing.T) {
+	r := NewRegistry()
+	h := func(*Ctx) (resp.Value, error) { return resp.Value{}, nil }
+	for _, name := range []string{"zz", "aa", "mm"} {
+		if err := r.Register(&Command{Name: name, Handler: h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmds := r.Commands()
+	for i := 1; i < len(cmds); i++ {
+		if cmds[i-1].Name >= cmds[i].Name {
+			t.Fatalf("Commands not sorted: %q before %q", cmds[i-1].Name, cmds[i].Name)
+		}
+	}
+}
+
+func TestArity(t *testing.T) {
+	cases := []struct {
+		a     Arity
+		n     int
+		ok    bool
+		redis int64
+	}{
+		{Exactly(2), 2, true, 3},
+		{Exactly(2), 1, false, 3},
+		{Exactly(2), 3, false, 3},
+		{AtLeast(1), 1, true, -2},
+		{AtLeast(1), 9, true, -2},
+		{AtLeast(1), 0, false, -2},
+		{Between(1, 2), 1, true, -2},
+		{Between(1, 2), 2, true, -2},
+		{Between(1, 2), 3, false, -2},
+	}
+	for _, c := range cases {
+		if got := c.a.Check(c.n); got != c.ok {
+			t.Errorf("%+v.Check(%d) = %v, want %v", c.a, c.n, got, c.ok)
+		}
+		if got := c.a.Redis(); got != c.redis {
+			t.Errorf("%+v.Redis() = %d, want %d", c.a, got, c.redis)
+		}
+	}
+}
+
+func TestFlagNames(t *testing.T) {
+	got := (FlagWrite | FlagAdmin).Names()
+	if len(got) != 2 || got[0] != "write" || got[1] != "admin" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+// TestCommandIntrospection pins the satellite requirement: COMMAND is
+// generated from the registry, so every registered command — built-in
+// and module alike — appears with its live arity and flags.
+func TestCommandIntrospection(t *testing.T) {
+	s := NewServer()
+	_, mod := NewGraphModule()
+	if err := s.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	dispatch := func(args ...string) resp.Value { return s.Dispatch(resp.Command(args...)) }
+
+	if got := dispatch("COMMAND", "COUNT"); got.Int != int64(s.Registry().Len()) {
+		t.Fatalf("COMMAND COUNT = %+v, want %d", got, s.Registry().Len())
+	}
+	list := dispatch("COMMAND", "LIST")
+	names := map[string]bool{}
+	for _, v := range list.Array {
+		names[v.Str] = true
+	}
+	for _, want := range []string{"ping", "g.insert", "g.info", "wal_replay", "command"} {
+		if !names[want] {
+			t.Fatalf("COMMAND LIST missing %q (got %v)", want, names)
+		}
+	}
+
+	info := dispatch("COMMAND", "INFO", "g.insert", "nosuch")
+	if len(info.Array) != 2 {
+		t.Fatalf("COMMAND INFO = %+v", info)
+	}
+	ent := info.Array[0]
+	if ent.Array[0].Str != "g.insert" || ent.Array[1].Int != 3 {
+		t.Fatalf("g.insert entry = %+v", ent)
+	}
+	flagSet := map[string]bool{}
+	for _, f := range ent.Array[2].Array {
+		flagSet[f.Str] = true
+	}
+	if !flagSet["write"] {
+		t.Fatalf("g.insert flags = %+v, want write", ent.Array[2])
+	}
+	if !info.Array[1].Null {
+		t.Fatalf("unknown command entry = %+v, want null", info.Array[1])
+	}
+
+	// The full listing matches the registry size.
+	if full := dispatch("COMMAND"); len(full.Array) != s.Registry().Len() {
+		t.Fatalf("COMMAND listed %d entries, want %d", len(full.Array), s.Registry().Len())
+	}
+	if got := dispatch("COMMAND", "BOGUS"); got.Type != '-' || !strings.HasPrefix(got.Str, "ERR ") {
+		t.Fatalf("COMMAND BOGUS = %+v", got)
+	}
+}
+
+// TestInfoCommand exercises G.INFO: full output, one section, and the
+// error on an unknown section.
+func TestInfoCommand(t *testing.T) {
+	s := NewServer()
+	_, mod := NewGraphModule()
+	if err := s.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	dispatch := func(args ...string) resp.Value { return s.Dispatch(resp.Command(args...)) }
+	dispatch("g.insert", "1", "2")
+	dispatch("g.insert", "1", "3")
+
+	full := dispatch("G.INFO")
+	for _, want := range []string{"# server", "# commands", "# graph", "# snapshots", "# wal",
+		"edges:2", "commands_registered:", "enabled:0", "cmdstat_g.insert:calls=2"} {
+		if !strings.Contains(full.Str, want) {
+			t.Fatalf("G.INFO missing %q in:\n%s", want, full.Str)
+		}
+	}
+
+	one := dispatch("G.INFO", "graph")
+	if !strings.Contains(one.Str, "edges:2") || strings.Contains(one.Str, "# wal") {
+		t.Fatalf("G.INFO graph = %q", one.Str)
+	}
+	if got := dispatch("G.INFO", "bogus"); got.Type != '-' || !strings.HasPrefix(got.Str, "ERR ") {
+		t.Fatalf("G.INFO bogus = %+v", got)
+	}
+}

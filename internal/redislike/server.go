@@ -1,83 +1,188 @@
 // Package redislike is a small in-process Redis-like server: a TCP
-// RESP2 front end with core string commands (PING, SET, GET, DEL) and a
-// module API through which additional data types register commands and
-// persistence hooks — the substrate for the paper's Redis integration
-// (§V-F), where CuckooGraph is loaded as a module providing G.INSERT,
-// G.DEL, the batched G.MINSERT/G.MDEL, G.QUERY, G.GETNEIGHBORS,
-// G.DEGREE and G.NODES plus RDB-style save/load. The per-connection
-// read loop pipelines: replies are flushed when the input buffer
-// drains, so a burst of commands pays one write(2) for all its
-// replies.
+// RESP2 front end with a command registry through which both the
+// built-in string commands (PING, SET, GET, DEL) and modules register —
+// the substrate for the paper's Redis integration (§V-F), where
+// CuckooGraph is loaded as a module providing G.INSERT, G.DEL, the
+// batched G.MINSERT/G.MDEL, G.QUERY, G.GETNEIGHBORS, G.DEGREE, G.NODES,
+// snapshots, analytics and WAL control plus RDB-style save/load.
+//
+// Every command is a Command registration — name, arity spec, flags,
+// handler — and dispatch is entirely registry-driven: arity is enforced
+// before the handler runs, write-flagged commands are rejected while a
+// recovery swap is loading, and the COMMAND/G.INFO introspection output
+// is generated from the same registrations. Handlers return typed
+// errors (see errors.go) that dispatch maps onto RESP error classes, so
+// a failure is always a well-formed reply in pipeline order.
+//
+// The per-connection read loop pipelines: replies are flushed when the
+// input buffer drains, so a burst of commands pays one write(2) for all
+// its replies. Connections are admission-controlled (MaxConns rejects
+// with -MAXCLIENTS rather than hanging the dial), commands run under
+// per-command read/write deadlines, and Shutdown drains: in-flight
+// commands finish and flush, then modules tear down in order.
 package redislike
 
 import (
-	"bufio"
-	"fmt"
+	"context"
+	"errors"
+	"io"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cuckoograph/internal/resp"
 )
 
-// HandlerFunc serves one module command; args excludes the command name.
-type HandlerFunc func(args []string) resp.Value
+// Config tunes a server. The zero value is a permissive development
+// server: unlimited connections, no deadlines, discarded logs.
+type Config struct {
+	// MaxConns bounds concurrently served connections; a connection over
+	// the limit receives -MAXCLIENTS and is closed. 0 means unlimited.
+	MaxConns int
+	// ReadTimeout bounds how long the remainder of a command may take to
+	// arrive once its first byte has (idle waits are unbounded). 0
+	// disables it.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply write/flush; a client that stops
+	// reading is disconnected instead of wedging its serve goroutine. 0
+	// disables it.
+	WriteTimeout time.Duration
+	// Logger receives structured server logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// ConnState is the per-connection state handed to handlers through Ctx.
+type ConnState struct {
+	// RemoteAddr is the peer address.
+	RemoteAddr string
+	// ConnectedAt is when the connection was admitted.
+	ConnectedAt time.Time
+	// Commands counts commands served on this connection. It is written
+	// only by the connection's serve goroutine.
+	Commands uint64
+}
 
 // Module is the unit of registration, mirroring the Redis Module API
-// surface the paper implements (commands + save_rdb/load_rdb hooks).
+// surface the paper implements: commands plus persistence, metrics and
+// lifecycle hooks.
 type Module struct {
 	Name     string
-	Commands map[string]HandlerFunc
+	Commands []*Command
 	SaveRDB  func() []byte
 	LoadRDB  func(data []byte) error
+	// OnLoad, if set, receives the host server at registration — the
+	// hook through which a module reaches server state (loading flag,
+	// logger).
+	OnLoad func(*Server)
+	// Metrics, if set, contributes module samples to every /metrics
+	// scrape.
+	Metrics func(*MetricsWriter)
+	// Close, if set, is called by Shutdown after connections have
+	// drained — the module's ordered teardown (release retained views,
+	// close the WAL).
+	Close func() error
 }
 
 // Server is a single-node redislike instance. There is no global
 // command lock: mu guards only the built-in string keyspace and the
-// command/module registries, and module handlers run outside it — each
-// module is responsible for its own synchronisation (the CuckooGraph
-// module locks per shard), so commands touching different shards
-// execute in parallel across connections.
+// module list, and handlers run outside it — each module is responsible
+// for its own synchronisation (the CuckooGraph module locks per shard),
+// so commands touching different shards execute in parallel across
+// connections.
 type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	reg     *Registry
+	metrics *Metrics
+
 	mu      sync.RWMutex
 	strings map[string]string
 	modules []*Module
-	cmds    map[string]HandlerFunc
+
+	// loading is set while a recovery (wal_replay) rebuilds and swaps
+	// the graph; dispatch rejects write-flagged commands with -LOADING
+	// for its duration.
+	loading atomic.Bool
 
 	ln     net.Listener
-	closed chan struct{}
+	closed chan struct{} // closed when Shutdown begins
 
-	// connMu/conns/connWG let Close drain: it closes every live
-	// connection and waits for its serve goroutine to finish the command
-	// in flight, so post-Close teardown (e.g. closing a WAL) cannot race
-	// an acknowledgement.
-	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
-	connWG sync.WaitGroup
+	shutdownOnce sync.Once
+	shutdownDone chan struct{}
+	shutdownErr  error
+
+	// connMu/conns/connWG let Shutdown drain: it interrupts idle
+	// readers, waits for each serve goroutine to finish (and flush) the
+	// command in flight, and only then runs module teardown — so
+	// post-drain teardown (closing the WAL) cannot race an
+	// acknowledgement.
+	connMu      sync.Mutex
+	conns       map[*resp.Conn]struct{}
+	connWG      sync.WaitGroup
+	metricsSrv  httpCloser
+	metricsAddr string
 }
 
-// NewServer returns a server with the built-in commands registered.
-func NewServer() *Server {
-	return &Server{
-		strings: make(map[string]string),
-		cmds:    make(map[string]HandlerFunc),
-		closed:  make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
+// httpCloser is the slice of *http.Server Shutdown needs.
+type httpCloser interface{ Close() error }
+
+// NewServer returns a server with the built-in commands registered and
+// a permissive default Config.
+func NewServer() *Server { return NewServerWith(Config{}) }
+
+// NewServerWith returns a server tuned by cfg.
+func NewServerWith(cfg Config) *Server {
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	s := &Server{
+		cfg:          cfg,
+		log:          log,
+		reg:          NewRegistry(),
+		metrics:      newMetrics(),
+		strings:      make(map[string]string),
+		closed:       make(chan struct{}),
+		shutdownDone: make(chan struct{}),
+		conns:        make(map[*resp.Conn]struct{}),
+	}
+	s.registerBuiltins()
+	return s
 }
+
+// Registry exposes the command registry (introspection, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the server's meters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Logger returns the server's structured logger.
+func (s *Server) Logger() *slog.Logger { return s.log }
+
+// SetLoading flips the recovery-in-progress flag; while set, dispatch
+// rejects write-flagged commands with -LOADING.
+func (s *Server) SetLoading(on bool) { s.loading.Store(on) }
+
+// Loading reports whether a recovery swap is in progress.
+func (s *Server) Loading() bool { return s.loading.Load() }
 
 // LoadModule registers a module's commands (--loadmodule equivalent).
 func (s *Server) LoadModule(m *Module) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for name, h := range m.Commands {
-		lower := strings.ToLower(name)
-		if _, dup := s.cmds[lower]; dup {
-			return fmt.Errorf("redislike: duplicate command %q", name)
+	for _, c := range m.Commands {
+		if err := s.reg.Register(c); err != nil {
+			return err
 		}
-		s.cmds[lower] = h
 	}
+	s.mu.Lock()
 	s.modules = append(s.modules, m)
+	s.mu.Unlock()
+	if m.OnLoad != nil {
+		m.OnLoad(s)
+	}
+	s.log.Info("module loaded", "module", m.Name, "commands", len(m.Commands))
 	return nil
 }
 
@@ -86,9 +191,10 @@ func (s *Server) LoadModule(m *Module) error {
 // takes a consistent cut under its own shard read locks.
 func (s *Server) SaveRDB() map[string][]byte {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	mods := append([]*Module(nil), s.modules...)
+	s.mu.RUnlock()
 	out := map[string][]byte{}
-	for _, m := range s.modules {
+	for _, m := range mods {
 		if m.SaveRDB != nil {
 			out[m.Name] = m.SaveRDB()
 		}
@@ -99,8 +205,9 @@ func (s *Server) SaveRDB() map[string][]byte {
 // LoadRDB restores module snapshots.
 func (s *Server) LoadRDB(snap map[string][]byte) error {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, m := range s.modules {
+	mods := append([]*Module(nil), s.modules...)
+	s.mu.RUnlock()
+	for _, m := range mods {
 		if data, ok := snap[m.Name]; ok && m.LoadRDB != nil {
 			if err := m.LoadRDB(data); err != nil {
 				return err
@@ -119,45 +226,121 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.ln = ln
 	go s.acceptLoop()
+	s.log.Info("listening", "addr", ln.Addr().String(), "commands", s.reg.Len(),
+		"max_conns", s.cfg.MaxConns)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener, closes every live connection and waits for
-// their handlers to finish the command in flight.
-func (s *Server) Close() error {
-	close(s.closed)
-	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
-	}
-	s.connMu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.connMu.Unlock()
-	s.connWG.Wait()
-	return err
-}
-
-// track registers a live connection, refusing it if the server is
-// already closing. It pairs with untrack.
-func (s *Server) track(conn net.Conn) bool {
-	s.connMu.Lock()
-	defer s.connMu.Unlock()
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
 	select {
 	case <-s.closed:
-		return false
+		return true
 	default:
+		return false
 	}
-	s.conns[conn] = struct{}{}
-	s.connWG.Add(1)
-	return true
 }
 
-func (s *Server) untrack(conn net.Conn) {
+// Shutdown gracefully stops the server: the listener closes, idle
+// connections are interrupted, in-flight commands finish and their
+// replies flush, and once every connection has drained (or ctx
+// expires, at which point survivors are force-closed) the modules tear
+// down in registration order — for the graph module that releases the
+// snapshot ring and closes the WAL, in that order. Shutdown is
+// idempotent; every caller observes the first call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.log.Info("shutdown: draining connections", "active", s.metrics.connsActive.Load())
+		close(s.closed)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		// Interrupt readers parked in their idle wait so their serve
+		// loops observe the drain; a goroutine mid-command is untouched
+		// and finishes its reply first.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Abort()
+		}
+		s.connMu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.connMu.Lock()
+			n := len(s.conns)
+			for c := range s.conns {
+				c.Close()
+			}
+			s.connMu.Unlock()
+			s.log.Warn("shutdown: drain deadline exceeded; force-closing", "conns", n)
+			<-done
+		}
+		if s.metricsSrv != nil {
+			s.metricsSrv.Close()
+		}
+		// Ordered module teardown, registration order; first error wins
+		// but every module still gets its Close.
+		s.mu.RLock()
+		mods := append([]*Module(nil), s.modules...)
+		s.mu.RUnlock()
+		var err error
+		for _, m := range mods {
+			if m.Close == nil {
+				continue
+			}
+			if cerr := m.Close(); cerr != nil {
+				s.log.Error("shutdown: module close failed", "module", m.Name, "err", cerr)
+				if err == nil {
+					err = cerr
+				}
+			}
+		}
+		s.shutdownErr = err
+		s.log.Info("shutdown complete", "err", err)
+		close(s.shutdownDone)
+	})
+	<-s.shutdownDone
+	return s.shutdownErr
+}
+
+// Close stops the server immediately: like Shutdown but without a
+// drain grace period — live connections are force-closed and their
+// in-flight handlers run to completion before module teardown.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Shutdown(ctx)
+}
+
+// admit decides whether a new connection may be served, tracking it if
+// so. The returned error (taxonomy-typed) is written to rejected
+// connections before closing — admission control answers, never hangs.
+func (s *Server) admit(c *resp.Conn) error {
 	s.connMu.Lock()
-	delete(s.conns, conn)
+	defer s.connMu.Unlock()
+	if s.draining() {
+		return &ShutdownError{}
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		return &MaxClientsError{Limit: s.cfg.MaxConns}
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	s.metrics.connsAccepted.Add(1)
+	s.metrics.connsActive.Add(1)
+	return nil
+}
+
+func (s *Server) untrack(c *resp.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
 	s.connMu.Unlock()
+	s.metrics.connsActive.Add(-1)
 	s.connWG.Done()
 }
 
@@ -176,89 +359,105 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) serve(conn net.Conn) {
-	defer conn.Close()
-	if !s.track(conn) {
+func (s *Server) serve(nc net.Conn) {
+	c := resp.NewConn(nc)
+	c.ReadTimeout = s.cfg.ReadTimeout
+	c.WriteTimeout = s.cfg.WriteTimeout
+	if err := s.admit(c); err != nil {
+		// Reject with a typed error reply, then close: the client learns
+		// why instead of watching a hang or a bare RST.
+		s.metrics.connsRejected.Add(1)
+		s.log.Debug("connection rejected", "remote", c.RemoteAddr(), "reason", err.Error())
+		c.WriteValue(errorReply(err))
+		c.Flush()
+		c.Close()
 		return
 	}
-	defer s.untrack(conn)
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	defer c.Close()
+	defer s.untrack(c)
+	cs := &ConnState{RemoteAddr: c.RemoteAddr(), ConnectedAt: time.Now()}
+	s.log.Debug("connection accepted", "remote", cs.RemoteAddr)
+	defer func() {
+		s.log.Debug("connection closed", "remote", cs.RemoteAddr, "commands", cs.Commands)
+	}()
 	for {
-		req, err := resp.Read(r)
+		req, err := c.ReadCommand()
 		if err != nil {
+			if errors.Is(err, resp.ErrProtocol) {
+				// The stream is desynced beyond this point; answer with a
+				// typed error so the client knows why, then drop it.
+				c.WriteValue(errorReply(&BadArgError{Cmd: "protocol", Detail: err.Error()}))
+				c.Flush()
+				s.log.Debug("protocol error", "remote", cs.RemoteAddr, "err", err)
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, resp.ErrAborted) {
+				s.log.Debug("read failed", "remote", cs.RemoteAddr, "err", err)
+			}
 			return
 		}
-		reply := s.Dispatch(req)
-		if err := resp.Write(w, reply); err != nil {
+		cs.Commands++
+		reply := s.dispatch(req, cs)
+		if err := c.WriteValue(reply); err != nil {
+			s.log.Debug("write failed", "remote", cs.RemoteAddr, "err", err)
 			return
 		}
 		// Pipelining: while the client has already sent more commands,
 		// keep replies buffered and dispatch straight into the backlog —
 		// one syscall then answers the whole burst. Flush only when the
 		// input drains and the next Read would block.
-		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
+		if c.Buffered() == 0 {
+			if err := c.Flush(); err != nil {
+				s.log.Debug("flush failed", "remote", cs.RemoteAddr, "err", err)
 				return
 			}
+		}
+		if s.draining() {
+			// The in-flight command was served and flushed; no new work
+			// starts on a draining server.
+			c.Flush()
+			return
 		}
 	}
 }
 
-// Dispatch executes one already-decoded command; exported so benchmarks
-// can measure command cost without socket overhead.
-func (s *Server) Dispatch(req resp.Value) resp.Value {
+// Dispatch executes one already-decoded command; exported so tests and
+// benchmarks can measure command cost without socket overhead.
+func (s *Server) Dispatch(req resp.Value) resp.Value { return s.dispatch(req, nil) }
+
+// dispatch is the registry-driven command path: resolve, enforce arity,
+// apply flag policy, run the handler, map typed errors to RESP classes,
+// meter everything.
+func (s *Server) dispatch(req resp.Value, cs *ConnState) resp.Value {
 	if req.Type != '*' || len(req.Array) == 0 {
-		return resp.Error("ERR protocol: expected command array")
+		return errorReply(&BadArgError{Cmd: "protocol", Detail: "expected command array"})
 	}
-	args := make([]string, len(req.Array))
-	for i, v := range req.Array {
+	name := strings.ToLower(req.Array[0].Str)
+	start := time.Now()
+	reply, err := s.invoke(name, req, cs)
+	if err != nil {
+		reply = errorReply(err)
+	}
+	mname := name
+	if _, known := s.reg.Lookup(name); !known {
+		mname = "unknown"
+	}
+	s.metrics.record(mname, time.Since(start), err != nil)
+	return reply
+}
+
+func (s *Server) invoke(name string, req resp.Value, cs *ConnState) (resp.Value, error) {
+	cmd, ok := s.reg.Lookup(name)
+	if !ok {
+		return resp.Value{}, &UnknownCommandError{Cmd: name}
+	}
+	if !cmd.Arity.Check(len(req.Array) - 1) {
+		return resp.Value{}, &ArityError{Cmd: name}
+	}
+	if cmd.Flags&FlagWrite != 0 && s.loading.Load() {
+		return resp.Value{}, &LoadingError{}
+	}
+	args := make([]string, len(req.Array)-1)
+	for i, v := range req.Array[1:] {
 		args[i] = v.Str
 	}
-	name := strings.ToLower(args[0])
-	args = args[1:]
-
-	switch name {
-	case "ping":
-		return resp.Simple("PONG")
-	case "set":
-		if len(args) != 2 {
-			return resp.Error("ERR wrong number of arguments for 'set'")
-		}
-		s.mu.Lock()
-		s.strings[args[0]] = args[1]
-		s.mu.Unlock()
-		return resp.Simple("OK")
-	case "get":
-		if len(args) != 1 {
-			return resp.Error("ERR wrong number of arguments for 'get'")
-		}
-		s.mu.RLock()
-		v, ok := s.strings[args[0]]
-		s.mu.RUnlock()
-		if ok {
-			return resp.Bulk(v)
-		}
-		return resp.NullBulk()
-	case "del":
-		n := int64(0)
-		s.mu.Lock()
-		for _, k := range args {
-			if _, ok := s.strings[k]; ok {
-				delete(s.strings, k)
-				n++
-			}
-		}
-		s.mu.Unlock()
-		return resp.Integer(n)
-	}
-	s.mu.RLock()
-	h, ok := s.cmds[name]
-	s.mu.RUnlock()
-	if ok {
-		// Module handlers run without the server lock; the module's data
-		// structure provides its own (per-shard) synchronisation.
-		return h(args)
-	}
-	return resp.Error("ERR unknown command '" + name + "'")
+	return cmd.Handler(&Ctx{Name: name, Args: args, Conn: cs, srv: s})
 }

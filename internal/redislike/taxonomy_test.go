@@ -1,0 +1,239 @@
+package redislike
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cuckoograph/internal/resp"
+)
+
+// pipeClient is a raw RESP client for taxonomy tests: it writes whole
+// pipelined bursts and reads replies one at a time, so a desynced
+// stream shows up as a wrong or missing reply.
+type pipeClient struct {
+	t *testing.T
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func dialPipe(t *testing.T, addr string) *pipeClient {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &pipeClient{t: t, c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+func (p *pipeClient) push(args ...string) {
+	p.t.Helper()
+	if err := resp.Write(p.w, resp.Command(args...)); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+func (p *pipeClient) flush() {
+	p.t.Helper()
+	if err := p.w.Flush(); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+func (p *pipeClient) read() resp.Value {
+	p.t.Helper()
+	p.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	v, err := resp.Read(p.r)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	return v
+}
+
+func startGraphServer(t *testing.T, cfg Config) (*Server, *GraphModule, string) {
+	t.Helper()
+	s := NewServerWith(cfg)
+	gm, mod := NewGraphModule()
+	if err := s.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, gm, addr
+}
+
+// TestErrorTaxonomyPipelined is the satellite pin: a pipelined burst
+// mixing valid commands with every client-side failure mode gets one
+// well-formed reply per command, in order, and the connection stays
+// usable — an error never desyncs the pipeline.
+func TestErrorTaxonomyPipelined(t *testing.T) {
+	_, _, addr := startGraphServer(t, Config{})
+	p := dialPipe(t, addr)
+
+	p.push("g.insert", "1", "2")       // valid write
+	p.push("g.insert", "1")            // arity violation
+	p.push("nosuch", "x")              // unknown command
+	p.push("g.minsert", "1", "2", "3") // malformed batch (odd args)
+	p.push("g.insert", "x", "2")       // malformed node id
+	p.push("g.query", "1", "2")        // valid read, must still be answered
+	p.flush()
+
+	if got := p.read(); got.Int != 1 {
+		t.Fatalf("reply 1 (insert) = %+v", got)
+	}
+	if got := p.read(); got.Type != '-' || got.Str != "ERR wrong number of arguments for 'g.insert' command" {
+		t.Fatalf("reply 2 (arity) = %+v", got)
+	}
+	if got := p.read(); got.Type != '-' || got.Str != "ERR unknown command 'nosuch'" {
+		t.Fatalf("reply 3 (unknown) = %+v", got)
+	}
+	if got := p.read(); got.Type != '-' || !strings.HasPrefix(got.Str, "ERR g.minsert: expected <u> <v>") {
+		t.Fatalf("reply 4 (odd batch) = %+v", got)
+	}
+	if got := p.read(); got.Type != '-' || !strings.HasPrefix(got.Str, `ERR g.insert: bad node id "x"`) {
+		t.Fatalf("reply 5 (bad id) = %+v", got)
+	}
+	if got := p.read(); got.Int != 1 {
+		t.Fatalf("reply 6 (query) = %+v", got)
+	}
+
+	// The connection survived every error in the burst.
+	p.push("PING")
+	p.flush()
+	if got := p.read(); got.Str != "PONG" {
+		t.Fatalf("post-burst PING = %+v", got)
+	}
+}
+
+// TestLoadingRejectsWrites pins the -LOADING policy: while a recovery
+// swap is in flight, write-flagged commands are rejected with the
+// LOADING class and reads keep flowing, all in pipeline order.
+func TestLoadingRejectsWrites(t *testing.T) {
+	s, _, addr := startGraphServer(t, Config{})
+	p := dialPipe(t, addr)
+
+	p.push("g.insert", "1", "2")
+	p.flush()
+	if got := p.read(); got.Int != 1 {
+		t.Fatalf("pre-loading insert = %+v", got)
+	}
+
+	s.SetLoading(true)
+	p.push("g.insert", "3", "4") // write: rejected
+	p.push("g.query", "1", "2")  // read: served
+	p.push("g.info", "server")   // admin: served, reports loading:1
+	p.flush()
+	if got := p.read(); got.Type != '-' || !strings.HasPrefix(got.Str, "LOADING ") {
+		t.Fatalf("write during loading = %+v", got)
+	}
+	if got := p.read(); got.Int != 1 {
+		t.Fatalf("read during loading = %+v", got)
+	}
+	if got := p.read(); !strings.Contains(got.Str, "loading:1") {
+		t.Fatalf("g.info during loading = %+v", got)
+	}
+
+	s.SetLoading(false)
+	p.push("g.insert", "3", "4")
+	p.flush()
+	if got := p.read(); got.Int != 1 {
+		t.Fatalf("write after loading = %+v", got)
+	}
+}
+
+// TestMaxClientsRejected pins admission control: the connection over
+// the limit is answered with -MAXCLIENTS and closed — not hung.
+func TestMaxClientsRejected(t *testing.T) {
+	_, _, addr := startGraphServer(t, Config{MaxConns: 1})
+
+	p1 := dialPipe(t, addr)
+	p1.push("PING")
+	p1.flush()
+	if got := p1.read(); got.Str != "PONG" {
+		t.Fatalf("first conn PING = %+v", got)
+	}
+
+	p2 := dialPipe(t, addr)
+	p2.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	v, err := resp.Read(p2.r)
+	if err != nil {
+		t.Fatalf("over-limit conn: want MAXCLIENTS reply, got read error %v", err)
+	}
+	if v.Type != '-' || v.Str != "MAXCLIENTS connection limit of 1 reached" {
+		t.Fatalf("over-limit reply = %+v", v)
+	}
+	if _, err := resp.Read(p2.r); err == nil {
+		t.Fatal("over-limit conn not closed after reject")
+	}
+
+	// Dropping the first connection frees the slot.
+	p1.c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p3 := dialPipe(t, addr)
+		p3.push("PING")
+		p3.flush()
+		p3.c.SetReadDeadline(time.Now().Add(time.Second))
+		v, err := resp.Read(p3.r)
+		if err == nil && v.Str == "PONG" {
+			break
+		}
+		p3.c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after first conn closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestProtocolErrorReplies pins the malformed-frame path: garbage bytes
+// get a typed error reply before the (unrecoverable) connection closes.
+func TestProtocolErrorReplies(t *testing.T) {
+	_, _, addr := startGraphServer(t, Config{})
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("!garbage\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	v, err := resp.Read(bufio.NewReader(c))
+	if err != nil {
+		t.Fatalf("want protocol error reply, got %v", err)
+	}
+	if v.Type != '-' || !strings.HasPrefix(v.Str, "ERR protocol: ") {
+		t.Fatalf("protocol error reply = %+v", v)
+	}
+}
+
+// TestUnknownCommandsPoolInMetrics: unknown names must not create
+// unbounded per-name meters (an attacker could otherwise grow the
+// metrics map without bound); they pool under "unknown".
+func TestUnknownCommandsPoolInMetrics(t *testing.T) {
+	s, _, addr := startGraphServer(t, Config{})
+	p := dialPipe(t, addr)
+	p.push("nosuch1")
+	p.push("nosuch2")
+	p.push("PING")
+	p.flush()
+	p.read()
+	p.read()
+	if got := p.read(); got.Str != "PONG" {
+		t.Fatalf("PING = %+v", got)
+	}
+	if got := s.Metrics().CommandCalls("unknown"); got != 2 {
+		t.Fatalf("unknown pool = %d, want 2", got)
+	}
+	if got := s.Metrics().CommandCalls("nosuch1"); got != 0 {
+		t.Fatalf("per-name meter for unknown command created (%d)", got)
+	}
+}

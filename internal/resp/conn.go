@@ -1,0 +1,119 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrAborted is returned by ReadCommand on a connection whose Abort has
+// been called — the server is draining and no further commands are
+// accepted on it.
+var ErrAborted = errors.New("resp: connection aborted")
+
+// Conn wraps a network connection with buffered RESP framing and
+// per-command deadlines. A server connection spends most of its life
+// idle, waiting for the next command, and that wait must be unbounded —
+// but once a command starts arriving, a peer that stalls mid-frame
+// would otherwise pin the connection (and whatever the handler holds)
+// forever. ReadCommand therefore waits for the first byte with no
+// deadline and arms ReadTimeout only for the remainder of the frame;
+// WriteValue and Flush arm WriteTimeout so a reply to a non-reading
+// client errors out instead of hanging the serve loop.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+
+	// ReadTimeout bounds how long the rest of a command may take to
+	// arrive after its first byte. Zero disables the bound.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each buffered write and flush of replies.
+	// Zero disables the bound.
+	WriteTimeout time.Duration
+
+	aborted atomic.Bool
+}
+
+// NewConn wraps nc. Deadlines are disabled until the timeout fields are
+// set.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+}
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// Abort marks the connection as draining and interrupts a reader parked
+// in ReadCommand's idle wait by expiring its read deadline. The store
+// happens before the deadline poke, and ReadCommand re-checks the flag
+// after clearing the deadline, so the two cannot interleave into a
+// reader blocked forever past an Abort.
+func (c *Conn) Abort() {
+	c.aborted.Store(true)
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// Aborted reports whether Abort has been called.
+func (c *Conn) Aborted() bool { return c.aborted.Load() }
+
+// ReadCommand decodes the next RESP value from the connection. The wait
+// for the first byte of a command is unbounded (an idle client is not
+// an error); once a command has started, the rest of it must arrive
+// within ReadTimeout.
+func (c *Conn) ReadCommand() (Value, error) {
+	if c.aborted.Load() {
+		return Value{}, ErrAborted
+	}
+	if c.r.Buffered() == 0 {
+		// Idle: wait for the first byte with no deadline.
+		c.nc.SetReadDeadline(time.Time{})
+		if c.aborted.Load() {
+			// Abort raced the deadline clear; re-expire so the Peek below
+			// cannot park forever.
+			c.nc.SetReadDeadline(time.Now())
+		}
+		if _, err := c.r.Peek(1); err != nil {
+			if c.aborted.Load() {
+				return Value{}, ErrAborted
+			}
+			return Value{}, err
+		}
+	}
+	if c.ReadTimeout > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.ReadTimeout))
+	}
+	v, err := Read(c.r)
+	if err != nil && c.aborted.Load() {
+		return Value{}, ErrAborted
+	}
+	return v, err
+}
+
+// WriteValue encodes v into the write buffer. Large replies spill to
+// the socket as the buffer fills, so the write deadline is armed here
+// as well as in Flush.
+func (c *Conn) WriteValue(v Value) error {
+	if c.WriteTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.WriteTimeout))
+	}
+	return Write(c.w, v)
+}
+
+// Buffered reports how many request bytes are already in the read
+// buffer — the pipelining signal: flush replies only when it reaches
+// zero and the next read would block.
+func (c *Conn) Buffered() int { return c.r.Buffered() }
+
+// Flush pushes buffered replies to the socket under WriteTimeout.
+func (c *Conn) Flush() error {
+	if c.WriteTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.WriteTimeout))
+	}
+	return c.w.Flush()
+}

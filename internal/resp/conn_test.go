@@ -1,0 +1,190 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected client/server TCP pair — real sockets, so
+// deadline semantics match production exactly.
+func tcpPair(t *testing.T) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { client.Close(); a.c.Close() })
+	return client, a.c
+}
+
+// TestAbortWakesIdleReader: Abort must interrupt a reader parked in the
+// unbounded idle wait — this is what lets Shutdown drain connections
+// that are not mid-command.
+func TestAbortWakesIdleReader(t *testing.T) {
+	_, server := tcpPair(t)
+	c := NewConn(server)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadCommand()
+		done <- err
+	}()
+	// Give the reader time to park in its idle Peek.
+	time.Sleep(50 * time.Millisecond)
+	c.Abort()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("aborted read error = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Abort did not wake the idle reader")
+	}
+	// Later reads fail fast without touching the socket.
+	if _, err := c.ReadCommand(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("post-abort read error = %v, want ErrAborted", err)
+	}
+}
+
+// TestReadTimeoutMidCommand: the idle wait is unbounded, but once a
+// command's first byte arrives the rest must land within ReadTimeout —
+// a peer stalling mid-frame cannot pin the connection.
+func TestReadTimeoutMidCommand(t *testing.T) {
+	client, server := tcpPair(t)
+	c := NewConn(server)
+	c.ReadTimeout = 100 * time.Millisecond
+
+	if _, err := client.Write([]byte("*1\r\n$4\r\nPI")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.ReadCommand()
+	if err == nil {
+		t.Fatal("stalled mid-command read returned a value")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("stalled read error = %v, want timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestIdleWaitOutlivesReadTimeout: ReadTimeout must NOT bound the idle
+// wait — a quiet client is not an error. The command sent after a pause
+// longer than ReadTimeout still gets served.
+func TestIdleWaitOutlivesReadTimeout(t *testing.T) {
+	client, server := tcpPair(t)
+	c := NewConn(server)
+	c.ReadTimeout = 50 * time.Millisecond
+
+	got := make(chan Value, 1)
+	fail := make(chan error, 1)
+	go func() {
+		v, err := c.ReadCommand()
+		if err != nil {
+			fail <- err
+			return
+		}
+		got <- v
+	}()
+	// Stay idle for multiples of ReadTimeout before sending.
+	time.Sleep(250 * time.Millisecond)
+	w := bufio.NewWriter(client)
+	if err := Write(w, Command("PING")); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	select {
+	case v := <-got:
+		if len(v.Array) != 1 || v.Array[0].Str != "PING" {
+			t.Fatalf("command = %+v", v)
+		}
+	case err := <-fail:
+		t.Fatalf("idle wait hit a deadline: %v", err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("read never completed")
+	}
+}
+
+// TestWriteValueAndFlushRoundTrip: replies written under WriteTimeout
+// reach the peer intact.
+func TestWriteValueAndFlushRoundTrip(t *testing.T) {
+	client, server := tcpPair(t)
+	c := NewConn(server)
+	c.WriteTimeout = time.Second
+
+	if err := c.WriteValue(Simple("PONG")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(time.Second))
+	v, err := Read(bufio.NewReader(client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Str != "PONG" {
+		t.Fatalf("round trip = %+v", v)
+	}
+}
+
+// TestWriteTimeoutOnStalledPeer: a peer that stops reading makes the
+// flush error out instead of wedging the serve goroutine forever.
+func TestWriteTimeoutOnStalledPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fills kernel socket buffers")
+	}
+	client, server := tcpPair(t)
+	// Shrink the server's send buffer so the stall surfaces quickly.
+	if tc, ok := server.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(4 << 10)
+	}
+	if tc, ok := client.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4 << 10)
+	}
+	c := NewConn(server)
+	c.WriteTimeout = 200 * time.Millisecond
+
+	// The client never reads; keep writing until the buffers fill and
+	// the deadline fires.
+	payload := Bulk(string(make([]byte, 32<<10)))
+	deadline := time.Now().Add(10 * time.Second)
+	var stallErr error
+	for stallErr == nil {
+		if time.Now().After(deadline) {
+			t.Skip("kernel buffered >10s of writes; environment too generous for this test")
+		}
+		if err := c.WriteValue(payload); err != nil {
+			stallErr = err
+			break
+		}
+		stallErr = c.Flush()
+	}
+	var nerr net.Error
+	if !errors.As(stallErr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("stalled-peer write error = %v, want timeout", stallErr)
+	}
+}

@@ -101,6 +101,21 @@ func (g *Graph) LiveViews() int { return int(g.liveViews.Load()) }
 // regardless of how many views share the pre-image.
 func (g *Graph) CoWBytes() uint64 { return g.cowBytes.Load() }
 
+// ViewStats groups the snapshot-subsystem counters into one read — the
+// export hook behind the server's /metrics endpoint and g.info. Each
+// field is an independent atomic load; no shard lock is taken, so a
+// scrape never queues behind writers.
+type ViewStats struct {
+	Epoch     uint64 // epoch of the most recently taken snapshot
+	LiveViews int    // unreleased views currently pinning CoW state
+	CoWBytes  uint64 // cumulative copy-on-write bytes preserved for views
+}
+
+// ViewStats returns the snapshot/CoW counters.
+func (g *Graph) ViewStats() ViewStats {
+	return ViewStats{Epoch: g.Epoch(), LiveViews: g.LiveViews(), CoWBytes: g.CoWBytes()}
+}
+
 // snapshotWithCut takes a snapshot, invoking cut (if non-nil) inside
 // the freeze window: every shard's write lock is held and multi-shard
 // batches are excluded, so a cut that rotates the WAL partitions the

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 
 	"cuckoograph/internal/core"
@@ -111,6 +112,18 @@ const (
 	SyncAsync
 )
 
+// String renders the policy in the same names ParseSyncPolicy accepts.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "nosync"
+	case SyncAsync:
+		return "async"
+	default:
+		return "always"
+	}
+}
+
 // Options tunes a WAL.
 type Options struct {
 	// SegmentBytes is the rotation threshold; a segment that reaches it
@@ -174,6 +187,57 @@ type WAL struct {
 	flushing bool   // a leader is writing outside mu
 	err      error  // sticky: first write/sync failure poisons the WAL
 	closed   bool
+
+	// Observability counters. Atomics, not mu-guarded fields: the group
+	// commit leader bumps bytes/commits/syncs with mu released, and the
+	// /metrics scraper must be able to read without queueing behind an
+	// fsync.
+	cAppends atomic.Uint64 // acknowledged Append/AppendBatch calls
+	cRecords atomic.Uint64 // framed records (a chunked batch counts per chunk)
+	cOps     atomic.Uint64 // edge mutations logged
+	cBytes   atomic.Uint64 // frame bytes handed to write(2)
+	cCommits atomic.Uint64 // group commits (write(2) batches)
+	cSyncs   atomic.Uint64 // fsyncs of segment data
+	cRotates atomic.Uint64 // segment rotations
+}
+
+// Stats is a point-in-time snapshot of the WAL's observability
+// counters — the export hook behind the server's /metrics endpoint.
+type Stats struct {
+	Appends      uint64 // acknowledged Append/AppendBatch calls
+	Records      uint64 // framed records written or queued
+	Ops          uint64 // edge mutations logged
+	Bytes        uint64 // frame bytes handed to write(2)
+	GroupCommits uint64 // write(2) batches (group commits)
+	Syncs        uint64 // fsyncs of segment data
+	Rotations    uint64 // segment rotations
+	Segment      uint64 // segment currently appended to
+	PendingBytes uint64 // queued frame bytes not yet written
+	Failed       bool   // the sticky error has poisoned the WAL
+}
+
+// Stats returns the current counters. Like Segment it waits out an
+// in-flight group commit before reading the mu-guarded segment state;
+// the counters themselves are atomic.
+func (w *WAL) Stats() Stats {
+	st := Stats{
+		Appends:      w.cAppends.Load(),
+		Records:      w.cRecords.Load(),
+		Ops:          w.cOps.Load(),
+		Bytes:        w.cBytes.Load(),
+		GroupCommits: w.cCommits.Load(),
+		Syncs:        w.cSyncs.Load(),
+		Rotations:    w.cRotates.Load(),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.flushing {
+		w.cond.Wait()
+	}
+	st.Segment = w.seg
+	st.PendingBytes = uint64(len(w.pending))
+	st.Failed = w.err != nil
+	return st
 }
 
 // Open opens (creating if needed) the WAL in dir and prepares it for
@@ -347,7 +411,7 @@ func (w *WAL) LogDelete(u, v uint64) error { return w.Append(OpDelete, u, v) }
 // every record queued alongside it) is written — the group commit.
 func (w *WAL) Append(op Op, u, v uint64) error {
 	var frame [maxPayload + frameOverhead]byte
-	return w.enqueue(encodeFrame(frame[:0], op, u, v))
+	return w.enqueue(encodeFrame(frame[:0], op, u, v), 1, 1)
 }
 
 // AppendBatch durably logs a whole mutation batch as one record —
@@ -369,6 +433,8 @@ func (w *WAL) AppendBatch(b core.Batch) error {
 		return w.Append(op, b[0].U, b[0].V)
 	}
 	var buf []byte
+	ops := uint64(len(b))
+	records := uint64(0)
 	for len(b) > 0 {
 		chunk := b
 		if len(chunk) > maxBatchOps {
@@ -380,13 +446,15 @@ func (w *WAL) AppendBatch(b core.Batch) error {
 		if err != nil {
 			return err
 		}
+		records++
 	}
-	return w.enqueue(buf)
+	return w.enqueue(buf, records, ops)
 }
 
 // enqueue queues already-framed records for the next group commit and
-// blocks until they are durable per the sync policy.
-func (w *WAL) enqueue(rec []byte) error {
+// blocks until they are durable per the sync policy. records and ops
+// feed the observability counters once the frames are accepted.
+func (w *WAL) enqueue(rec []byte, records, ops uint64) error {
 	w.mu.Lock()
 	if w.err != nil {
 		w.mu.Unlock()
@@ -400,6 +468,9 @@ func (w *WAL) enqueue(rec []byte) error {
 	w.pending = append(w.pending, rec...)
 	w.nextSeq++
 	seq := w.nextSeq
+	w.cAppends.Add(1)
+	w.cRecords.Add(records)
+	w.cOps.Add(ops)
 	if w.opts.Sync == SyncAsync {
 		// Acknowledge immediately; the background flusher owns the
 		// write. The flusher only ever parks on an empty queue, so just
@@ -458,10 +529,13 @@ func (w *WAL) writeBatch(batch []byte) error {
 		return fmt.Errorf("wal: append segment %d: %w", w.seg, err)
 	}
 	w.size += int64(len(batch))
+	w.cBytes.Add(uint64(len(batch)))
+	w.cCommits.Add(1)
 	if w.opts.Sync == SyncAlways {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync segment %d: %w", w.seg, err)
 		}
+		w.cSyncs.Add(1)
 	}
 	if w.size >= w.opts.SegmentBytes {
 		return w.rotate()
@@ -476,11 +550,13 @@ func (w *WAL) rotate() error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal: seal segment %d: %w", w.seg, err)
 		}
+		w.cSyncs.Add(1)
 		if err := w.f.Close(); err != nil {
 			return fmt.Errorf("wal: seal segment %d: %w", w.seg, err)
 		}
 		w.f = nil
 	}
+	w.cRotates.Add(1)
 	return w.openSegment(w.seg + 1)
 }
 
@@ -564,6 +640,7 @@ func (w *WAL) Sync() error {
 		w.err = fmt.Errorf("wal: fsync segment %d: %w", w.seg, err)
 		return w.err
 	}
+	w.cSyncs.Add(1)
 	return nil
 }
 
@@ -628,6 +705,8 @@ func (w *WAL) Close() error {
 		if err == nil {
 			if serr := w.f.Sync(); serr != nil {
 				err = fmt.Errorf("wal: fsync segment %d: %w", w.seg, serr)
+			} else {
+				w.cSyncs.Add(1)
 			}
 		}
 	}
