@@ -9,7 +9,7 @@
 //
 // Experiments: table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 // fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 kicks
-// concurrent parallel durability batchops snapshot all
+// concurrent parallel durability batchops snapshot server all
 package main
 
 import (
@@ -47,7 +47,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] [-json] [-compare BENCH_x.json [-tolerance F] [-repeat N]] <table2|table3|table4|fig2..fig18|kicks|analytics|readpath|concurrent|parallel|durability|batchops|snapshot|all>")
+		fmt.Fprintln(os.Stderr, "usage: cgbench [-scale N] [-seed N] [-json] [-compare BENCH_x.json [-tolerance F] [-repeat N]] <table2|table3|table4|fig2..fig18|kicks|analytics|readpath|concurrent|parallel|durability|batchops|snapshot|server|all>")
 		os.Exit(2)
 	}
 	reps := *repeat
@@ -183,11 +183,13 @@ func run(name string) {
 		batchOps()
 	case "snapshot":
 		snapshot()
+	case "server":
+		serverOps()
 	case "all":
 		for _, n := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 			"fig14", "fig15", "fig16", "fig17", "fig18", "kicks", "analytics", "readpath", "concurrent", "parallel",
-			"durability", "batchops", "snapshot"} {
+			"durability", "batchops", "snapshot", "server"} {
 			run(n)
 			fmt.Println()
 		}
@@ -702,6 +704,27 @@ func readPath() {
 		[]string{"shape", "deg", "lookup Mops", "miss Mops", "degree Mops", "scan Meps", "allocs/op (lookup/miss/degree/scan)"},
 		rows)
 	emitJSON("readpath", jrows)
+}
+
+// serverOps measures the serving plane end to end: a real TCP server
+// on loopback, one pipelined client per cell, throughput and process
+// allocations per command at pipeline depths 1/16/256.
+func serverOps() {
+	fmt.Printf("== Serving plane: pipelined TCP command throughput (scale 1/%d) ==\n", *scale)
+	ops := int(2_097_152 / *scale)
+	results := bench.ServerOps(ops, *seed)
+	rows := [][]string{}
+	var jrows []bench.JSONRow
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Workload, fmt.Sprintf("%d", r.Depth),
+			fmt.Sprintf("%.3f", r.Mops), fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.3f", r.AllocsPerOp),
+		})
+		jrows = append(jrows, bench.MopsRow(fmt.Sprintf("%s/d%d", r.Workload, r.Depth), r.Mops, r.AllocsPerOp))
+	}
+	bench.PrintTable(os.Stdout, []string{"workload", "depth", "Mops", "ns/op", "allocs/op"}, rows)
+	emitJSON("server", jrows)
 }
 
 // kicks reproduces the §IV-A measurement: average insertions per item.

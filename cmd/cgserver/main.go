@@ -16,7 +16,8 @@
 //
 // For production serving, -metrics-addr exposes GET /metrics
 // (Prometheus text format: per-command counters and latency histograms
-// plus engine, snapshot and WAL state) and GET /healthz; -max-conns,
+// plus engine, snapshot and WAL state) and GET /healthz, and -pprof
+// additionally mounts /debug/pprof/ on the same listener; -max-conns,
 // -read-timeout and -write-timeout bound misbehaving clients; and
 // SIGTERM/SIGINT trigger a graceful shutdown that drains in-flight
 // commands (bounded by -shutdown-timeout), releases retained snapshot
@@ -62,6 +63,7 @@ func run() int {
 	snapshotRing := flag.Int("snapshot-ring", redislike.DefaultSnapshotRing,
 		"how many g.snapshot epochs are retained for time-travel reads; the oldest is released past the bound")
 	metricsAddr := flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics and /healthz; empty disables")
+	pprofOn := flag.Bool("pprof", false, "also mount /debug/pprof/ profiling endpoints on the metrics listener (requires -metrics-addr)")
 	maxConns := flag.Int("max-conns", 0, "max concurrently served connections; further dials are answered with -MAXCLIENTS (0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-command read deadline once a command has started arriving (0 disables; idle connections are never timed out)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-reply write deadline; a client that stops reading is disconnected (0 disables)")
@@ -136,13 +138,20 @@ func run() int {
 		}()
 	}
 
+	if *pprofOn && *metricsAddr == "" {
+		logger.Error("-pprof requires -metrics-addr (profiles are served on the metrics listener)")
+		return 1
+	}
 	if *metricsAddr != "" {
+		if *pprofOn {
+			srv.EnablePprof()
+		}
 		bound, err := srv.ListenMetrics(*metricsAddr)
 		if err != nil {
 			logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err)
 			return 1
 		}
-		logger.Info("metrics listening", "addr", bound)
+		logger.Info("metrics listening", "addr", bound, "pprof", *pprofOn)
 	}
 
 	if _, err := srv.Listen(*addr); err != nil {

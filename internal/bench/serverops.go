@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"time"
+
+	"cuckoograph/internal/hashutil"
+	"cuckoograph/internal/redislike"
+)
+
+// ServerOpsResult is one cell of the serving-plane workload: the
+// end-to-end command throughput of a real TCP server measured through
+// one pipelined loopback client at a fixed pipeline depth.
+type ServerOpsResult struct {
+	// Workload is "insert" (all G.INSERT), "query" (all G.QUERY on
+	// present edges) or "mixed" (alternating).
+	Workload string
+	// Depth is the pipeline depth: commands written per burst before
+	// the client reads the burst's replies. Depth 1 is strict
+	// request/response.
+	Depth int
+	// Mops is commands completed per microsecond; NsPerOp its inverse.
+	Mops    float64
+	NsPerOp float64
+	// AllocsPerOp is heap allocations per command across the whole
+	// process — client encode, server read/dispatch/execute/encode/
+	// flush — from the runtime's malloc counter. The serving plane
+	// pins this at zero for warm hot-command cycles.
+	AllocsPerOp float64
+}
+
+// serverOpsDepths are the pipeline depths each workload runs at: the
+// latency-bound floor, a realistic client batch, and a depth past the
+// flush high-water mark.
+var serverOpsDepths = []int{1, 16, 256}
+
+// serverOpsPreload is the number of edges preloaded for the query side.
+const serverOpsPreload = 1 << 15
+
+// ServerOps measures the redislike serving plane end to end: for each
+// (workload, depth) cell it starts a fresh server on a loopback
+// listener, connects one TCP client, and drives ops commands through
+// the real read → dispatch → execute → encode → flush cycle. Requests
+// are pre-encoded outside the timed window so the measurement (and the
+// allocation count) is the wire exchange itself.
+func ServerOps(ops int, seed uint64) []ServerOpsResult {
+	if ops < 4096 {
+		ops = 4096
+	}
+	out := make([]ServerOpsResult, 0, 3*len(serverOpsDepths))
+	for _, wl := range []string{"insert", "query", "mixed"} {
+		for _, d := range serverOpsDepths {
+			out = append(out, serverOpsCell(wl, d, ops, seed))
+		}
+	}
+	return out
+}
+
+// serverOpsCell runs one (workload, depth) cell against a fresh server.
+func serverOpsCell(workload string, depth, ops int, seed uint64) ServerOpsResult {
+	srv := redislike.NewServer()
+	gm, mod := redislike.NewGraphModule()
+	if err := srv.LoadModule(mod); err != nil {
+		panic("bench: loading graph module: " + err.Error())
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic("bench: listen: " + err.Error())
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		panic("bench: dial: " + err.Error())
+	}
+	defer conn.Close()
+
+	// Whole bursts only, so every timed write has exactly depth replies.
+	bursts := ops / depth
+	if bursts < 1 {
+		bursts = 1
+	}
+	ops = bursts * depth
+
+	// Preload the present edges the query side probes. Loaded through
+	// the public engine API, not the wire, so the cell starts warm.
+	rng := hashutil.NewRNG(seed | 1)
+	us := make([]uint64, serverOpsPreload)
+	for i := range us {
+		us[i] = rng.Next() | 1
+		gm.Graph().InsertEdge(us[i], us[i]^2)
+	}
+
+	// Pre-encode every burst: the timed loop only writes bytes and
+	// counts reply lines. Insert keys are drawn from a disjoint RNG
+	// stream so the graph keeps growing instead of re-inserting.
+	insRNG := hashutil.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	enc := make([][]byte, bursts)
+	k := 0
+	for b := 0; b < bursts; b++ {
+		var reqs []byte
+		for i := 0; i < depth; i++ {
+			insert := workload == "insert" || (workload == "mixed" && k%2 == 0)
+			if insert {
+				reqs = appendServerCmd(reqs, "g.insert", insRNG.Next()|1, insRNG.Next()|1)
+			} else {
+				u := us[k%len(us)]
+				reqs = appendServerCmd(reqs, "g.query", u, u^2)
+			}
+			k++
+		}
+		enc[b] = reqs
+	}
+
+	// exchange writes one burst and reads until its replies are in.
+	// Hot-command replies are single-line (:N), so lines == replies; a
+	// '-' at a reply boundary is a server error and fails the run.
+	rbuf := make([]byte, 64<<10)
+	exchange := func(req []byte, want int) {
+		if _, err := conn.Write(req); err != nil {
+			panic("bench: write: " + err.Error())
+		}
+		got := 0
+		lineStart := true
+		for got < want {
+			n, err := conn.Read(rbuf)
+			if err != nil {
+				panic("bench: read: " + err.Error())
+			}
+			for _, c := range rbuf[:n] {
+				if lineStart && c == '-' {
+					panic("bench: server error reply: " + string(rbuf[:n]))
+				}
+				lineStart = false
+				if c == '\n' {
+					got++
+					lineStart = true
+				}
+			}
+		}
+	}
+
+	// Warmup: grow the connection scratch (read buffer, writer, batch)
+	// and fault in the accept path before the malloc window opens.
+	exchange(enc[0], depth)
+	exchange(enc[bursts-1], depth)
+
+	mops, allocs := readPathTimed(ops, func() {
+		for _, req := range enc {
+			exchange(req, depth)
+		}
+	})
+	res := ServerOpsResult{Workload: workload, Depth: depth, Mops: mops, AllocsPerOp: allocs}
+	if mops > 0 {
+		res.NsPerOp = 1e3 / mops
+	}
+	return res
+}
+
+// appendServerCmd encodes one RESP command of uint arguments.
+func appendServerCmd(dst []byte, name string, args ...uint64) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(1+len(args)), 10)
+	dst = append(dst, '\r', '\n', '$')
+	dst = strconv.AppendInt(dst, int64(len(name)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, name...)
+	dst = append(dst, '\r', '\n')
+	var num [20]byte
+	for _, a := range args {
+		s := strconv.AppendUint(num[:0], a, 10)
+		dst = append(dst, '$')
+		dst = strconv.AppendInt(dst, int64(len(s)), 10)
+		dst = append(dst, '\r', '\n')
+		dst = append(dst, s...)
+		dst = append(dst, '\r', '\n')
+	}
+	return dst
+}

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestServerOpsCell drives one tiny cell of each workload through a
+// real loopback server: the exchange stays in sync (a desync or error
+// reply panics), throughput is measured, and the query side verifies
+// against the preloaded edges.
+func TestServerOpsCell(t *testing.T) {
+	for _, wl := range []string{"insert", "query", "mixed"} {
+		for _, depth := range []int{1, 4} {
+			r := serverOpsCell(wl, depth, 512, 1)
+			if r.Workload != wl || r.Depth != depth {
+				t.Fatalf("cell identity = %q/%d, want %q/%d", r.Workload, r.Depth, wl, depth)
+			}
+			if r.Mops <= 0 || r.NsPerOp <= 0 {
+				t.Fatalf("%s/d%d: no throughput measured: %+v", wl, depth, r)
+			}
+		}
+	}
+}
+
+// TestAppendServerCmd pins the wire encoding the benchmark replays.
+func TestAppendServerCmd(t *testing.T) {
+	got := string(appendServerCmd(nil, "g.insert", 7, 1234))
+	want := "*3\r\n$8\r\ng.insert\r\n$1\r\n7\r\n$4\r\n1234\r\n"
+	if got != want {
+		t.Fatalf("encoded %q, want %q", got, want)
+	}
+}

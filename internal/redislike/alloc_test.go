@@ -1,0 +1,177 @@
+package redislike
+
+import (
+	"testing"
+	"time"
+
+	"cuckoograph/internal/resp"
+)
+
+// TestMetricsHandlesPreResolved is the satellite pin for the metrics
+// hot path: registration resolves each command's meter into the
+// Command, so dispatch records through the handle — never a per-call
+// sync.Map lookup — and the handle feeds the same meter the
+// introspection surfaces read.
+func TestMetricsHandlesPreResolved(t *testing.T) {
+	s := NewServer()
+	err := s.Registry().Register(&Command{
+		Name: "T.Pre", Arity: Exactly(0), Summary: "test: pre-resolved meter",
+		Handler: func(ctx *Ctx) error { ctx.ReplySimple("OK"); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd, ok := s.Registry().Lookup("t.pre")
+	if !ok {
+		t.Fatal("t.pre not registered")
+	}
+	if cmd.metrics == nil {
+		t.Fatal("metrics handle not resolved at registration")
+	}
+	if cmd.metrics != s.Metrics().handle("t.pre") {
+		t.Fatal("registration handle and by-name meter differ")
+	}
+	// Builtins get the same treatment.
+	if c, _ := s.Registry().Lookup("ping"); c.metrics == nil {
+		t.Fatal("builtin registered without a metrics handle")
+	}
+	// The unknown-command meter is resolved once at construction.
+	if s.Metrics().unknown == nil || s.Metrics().unknown != s.Metrics().handle("unknown") {
+		t.Fatal("unknown meter not pre-resolved")
+	}
+	// The handle observes into the meter CommandCalls reads.
+	before := s.Metrics().CommandCalls("t.pre")
+	if got := s.Dispatch(resp.Command("t.pre")); got.Str != "OK" {
+		t.Fatalf("dispatch = %+v", got)
+	}
+	if got := s.Metrics().CommandCalls("t.pre"); got != before+1 {
+		t.Fatalf("CommandCalls = %d, want %d", got, before+1)
+	}
+}
+
+// byteArgs renders a command line the way the wire parser hands it to
+// serveRequest: one byte-slice view per token.
+func byteArgs(tokens ...string) [][]byte {
+	out := make([][]byte, len(tokens))
+	for i, s := range tokens {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+// TestCommandCycleAllocs pins the tentpole property: a warm
+// dispatch-execute-encode cycle for the hot commands allocates nothing.
+// This drives the exact serveRequest path the TCP loop runs (the read
+// side's zero-alloc property is pinned in internal/resp), with a
+// per-connection Ctx and Writer reused across commands.
+func TestCommandCycleAllocs(t *testing.T) {
+	s := NewServer()
+	gm, mod := NewGraphModule()
+	if err := s.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_ = gm
+
+	var w resp.Writer
+	ctx := &Ctx{srv: s, w: &w}
+	cases := []struct {
+		name string
+		args [][]byte
+	}{
+		{"g.insert", byteArgs("g.insert", "7", "9")},
+		{"g.minsert", byteArgs("g.minsert", "7", "9", "8", "9")},
+		{"g.query", byteArgs("g.query", "7", "9")},
+		{"g.degree", byteArgs("g.degree", "7")},
+		{"g.getneighbors", byteArgs("g.getneighbors", "7")},
+		{"g.mdel", byteArgs("g.mdel", "100", "101")},
+		{"ping", byteArgs("PING")},
+		{"get", byteArgs("get", "k")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Prime scratch growth (name buffer, batch, ids) and any
+			// first-touch structure growth in the engine.
+			s.serveRequest(ctx, tc.args)
+			w.Reset()
+			allocs := testing.AllocsPerRun(200, func() {
+				s.serveRequest(ctx, tc.args)
+				w.Reset()
+			})
+			if allocs != 0 {
+				t.Fatalf("%s cycle allocates %.1f/run, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestCommandCycleErrorReplies: the streaming path still renders the
+// pinned taxonomy errors — rewinding any partial output first.
+func TestCommandCycleErrorReplies(t *testing.T) {
+	s := NewServer()
+	_, mod := NewGraphModule()
+	if err := s.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if got := s.Dispatch(resp.Command("g.insert", "1")); got.Str != "ERR wrong number of arguments for 'g.insert' command" {
+		t.Fatalf("arity reply = %q", got.Str)
+	}
+	if got := s.Dispatch(resp.Command("nosuch")); got.Str != "ERR unknown command 'nosuch'" {
+		t.Fatalf("unknown reply = %q", got.Str)
+	}
+	if got := s.Dispatch(resp.Command("g.insert", "x", "2")); got.Str != `ERR g.insert: bad node id "x"` {
+		t.Fatalf("bad-arg reply = %q", got.Str)
+	}
+	// A handler error mid-reply rewinds: the wire sees one error value,
+	// not a truncated array.
+	err := s.Registry().Register(&Command{
+		Name: "t.partial", Arity: Exactly(0), Summary: "test: error after partial output",
+		Handler: func(ctx *Ctx) error {
+			ctx.ReplyArrayHeader(3)
+			ctx.ReplyInt(1)
+			return &BadArgError{Cmd: ctx.Name, Detail: "gave up mid-array"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Dispatch(resp.Command("t.partial"))
+	if got.Type != '-' || got.Str != "ERR t.partial: gave up mid-array" {
+		t.Fatalf("partial-output reply = %+v", got)
+	}
+	// A handler returning nil without writing is a server bug surfaced
+	// as an error reply, keeping the pipeline in sync.
+	err = s.Registry().Register(&Command{
+		Name: "t.mute", Arity: Exactly(0), Summary: "test: no reply",
+		Handler: func(ctx *Ctx) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Dispatch(resp.Command("t.mute")); got.Type != '-' {
+		t.Fatalf("mute handler reply = %+v, want error", got)
+	}
+}
+
+// TestDispatchMetersDuration: the pre-resolved handles still feed the
+// latency histogram dispatch used to populate via the map path.
+func TestDispatchMetersDuration(t *testing.T) {
+	s := NewServer()
+	s.Dispatch(resp.Command("ping"))
+	m := s.Metrics().handle("ping")
+	if m.calls.Load() != 1 {
+		t.Fatalf("ping calls = %d, want 1", m.calls.Load())
+	}
+	var bucketed uint64
+	for i := range m.buckets {
+		bucketed += m.buckets[i].Load()
+	}
+	if bucketed != 1 {
+		t.Fatalf("histogram observations = %d, want 1", bucketed)
+	}
+	if m.sumNS.Load() == 0 && time.Since(s.Metrics().start) > 0 {
+		t.Fatal("latency sum not recorded")
+	}
+}

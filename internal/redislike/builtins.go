@@ -13,47 +13,53 @@ func (s *Server) registerBuiltins() {
 	for _, c := range []*Command{
 		{
 			Name: "ping", Arity: Between(0, 1), Summary: "liveness probe; echoes its argument",
-			Handler: func(ctx *Ctx) (resp.Value, error) {
+			Handler: func(ctx *Ctx) error {
 				if len(ctx.Args) == 1 {
-					return resp.Bulk(ctx.Args[0]), nil
+					ctx.ReplyBulk(ctx.Args[0])
+				} else {
+					ctx.ReplySimple("PONG")
 				}
-				return resp.Simple("PONG"), nil
+				return nil
 			},
 		},
 		{
 			Name: "set", Arity: Exactly(2), Flags: FlagWrite, Summary: "set a string key",
-			Handler: func(ctx *Ctx) (resp.Value, error) {
+			Handler: func(ctx *Ctx) error {
 				s.mu.Lock()
-				s.strings[ctx.Args[0]] = ctx.Args[1]
+				s.strings[string(ctx.Args[0])] = string(ctx.Args[1])
 				s.mu.Unlock()
-				return resp.Simple("OK"), nil
+				ctx.ReplySimple("OK")
+				return nil
 			},
 		},
 		{
 			Name: "get", Arity: Exactly(1), Flags: FlagRead, Summary: "get a string key",
-			Handler: func(ctx *Ctx) (resp.Value, error) {
+			Handler: func(ctx *Ctx) error {
 				s.mu.RLock()
-				v, ok := s.strings[ctx.Args[0]]
+				v, ok := s.strings[string(ctx.Args[0])]
 				s.mu.RUnlock()
 				if ok {
-					return resp.Bulk(v), nil
+					ctx.ReplyBulkString(v)
+				} else {
+					ctx.ReplyNullBulk()
 				}
-				return resp.NullBulk(), nil
+				return nil
 			},
 		},
 		{
 			Name: "del", Arity: AtLeast(1), Flags: FlagWrite, Summary: "delete string keys; replies with the count removed",
-			Handler: func(ctx *Ctx) (resp.Value, error) {
+			Handler: func(ctx *Ctx) error {
 				n := int64(0)
 				s.mu.Lock()
 				for _, k := range ctx.Args {
-					if _, ok := s.strings[k]; ok {
-						delete(s.strings, k)
+					if _, ok := s.strings[string(k)]; ok {
+						delete(s.strings, string(k))
 						n++
 					}
 				}
 				s.mu.Unlock()
-				return resp.Integer(n), nil
+				ctx.ReplyInt(n)
+				return nil
 			},
 		},
 		{
@@ -87,42 +93,47 @@ func commandEntry(c *Command) resp.Value {
 }
 
 // commandCmd is COMMAND [COUNT | LIST | INFO name [name ...]]: the
-// registry-generated introspection surface.
-func (s *Server) commandCmd(ctx *Ctx) (resp.Value, error) {
+// registry-generated introspection surface. A cold path: replies are
+// assembled as boxed Values and bridged through the streaming writer.
+func (s *Server) commandCmd(ctx *Ctx) error {
 	if len(ctx.Args) == 0 {
 		cmds := s.reg.Commands()
 		out := make([]resp.Value, len(cmds))
 		for i, c := range cmds {
 			out[i] = commandEntry(c)
 		}
-		return resp.Array(out...), nil
+		ctx.ReplyValue(resp.Array(out...))
+		return nil
 	}
-	switch strings.ToLower(ctx.Args[0]) {
+	switch sub := strings.ToLower(ctx.ArgString(0)); sub {
 	case "count":
 		if len(ctx.Args) != 1 {
-			return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "COUNT takes no arguments"}
+			return &BadArgError{Cmd: ctx.Name, Detail: "COUNT takes no arguments"}
 		}
-		return resp.Integer(int64(s.reg.Len())), nil
+		ctx.ReplyInt(int64(s.reg.Len()))
+		return nil
 	case "list":
 		if len(ctx.Args) != 1 {
-			return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "LIST takes no arguments"}
+			return &BadArgError{Cmd: ctx.Name, Detail: "LIST takes no arguments"}
 		}
 		cmds := s.reg.Commands()
-		out := make([]resp.Value, len(cmds))
-		for i, c := range cmds {
-			out[i] = resp.Bulk(c.Name)
+		ctx.ReplyArrayHeader(len(cmds))
+		for _, c := range cmds {
+			ctx.ReplyBulkString(c.Name)
 		}
-		return resp.Array(out...), nil
+		return nil
 	case "info":
 		out := make([]resp.Value, 0, len(ctx.Args)-1)
 		for _, name := range ctx.Args[1:] {
-			if c, ok := s.reg.Lookup(strings.ToLower(name)); ok {
+			if c, ok := s.reg.Lookup(strings.ToLower(string(name))); ok {
 				out = append(out, commandEntry(c))
 			} else {
 				out = append(out, resp.NullBulk())
 			}
 		}
-		return resp.Array(out...), nil
+		ctx.ReplyValue(resp.Array(out...))
+		return nil
+	default:
+		return &BadArgError{Cmd: ctx.Name, Detail: "unknown subcommand " + sub + " (want COUNT, LIST or INFO)"}
 	}
-	return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "unknown subcommand " + strings.ToLower(ctx.Args[0]) + " (want COUNT, LIST or INFO)"}
 }

@@ -4,20 +4,22 @@ import (
 	"strconv"
 
 	"cuckoograph/internal/core"
-	"cuckoograph/internal/resp"
 )
 
 // Data-plane command handlers. Every handler here is registered through
 // dataCmd, so ctx.Graph is the current graph, pinned against a restore
 // swap for the duration of the call; arity is already validated against
-// the registration, so handlers only check argument *content*.
+// the registration, so handlers only check argument *content*. These
+// are the serving plane's hot commands: arguments are parsed straight
+// from the connection's read-buffer views and replies are streamed, so
+// a warm command cycle allocates nothing.
 
 // parseNode decodes one node-id argument, wrapping failures in the
 // command's typed bad-argument error.
-func parseNode(ctx *Ctx, arg string) (uint64, error) {
-	n, err := strconv.ParseUint(arg, 10, 64)
-	if err != nil {
-		return 0, &BadArgError{Cmd: ctx.Name, Detail: "bad node id " + strconv.Quote(arg)}
+func parseNode(ctx *Ctx, arg []byte) (uint64, error) {
+	n, ok := parseUint64(arg)
+	if !ok {
+		return 0, &BadArgError{Cmd: ctx.Name, Detail: "bad node id " + strconv.Quote(string(arg))}
 	}
 	return n, nil
 }
@@ -43,43 +45,40 @@ func walCheck(ctx *Ctx) error {
 	return nil
 }
 
-func (gm *GraphModule) insert(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) insert(ctx *Ctx) error {
 	u, v, err := parseEdgeArgs(ctx)
 	if err != nil {
-		return resp.Value{}, err
+		return err
 	}
 	added := ctx.Graph.InsertEdge(u, v)
 	if err := walCheck(ctx); err != nil {
-		return resp.Value{}, err
+		return err
 	}
-	if added {
-		return resp.Integer(1), nil
-	}
-	return resp.Integer(0), nil
+	ctx.ReplyBool(added)
+	return nil
 }
 
-func (gm *GraphModule) del(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) del(ctx *Ctx) error {
 	u, v, err := parseEdgeArgs(ctx)
 	if err != nil {
-		return resp.Value{}, err
+		return err
 	}
 	deleted := ctx.Graph.DeleteEdge(u, v)
 	if err := walCheck(ctx); err != nil {
-		return resp.Value{}, err
+		return err
 	}
-	if deleted {
-		return resp.Integer(1), nil
-	}
-	return resp.Integer(0), nil
+	ctx.ReplyBool(deleted)
+	return nil
 }
 
 // parseBatchArgs decodes ⟨u,v⟩ pairs from a variadic command's
-// arguments into a mutation batch of the given kind.
+// arguments into a mutation batch of the given kind, reusing the
+// connection's batch scratch.
 func parseBatchArgs(ctx *Ctx, kind core.OpKind) (core.Batch, error) {
 	if len(ctx.Args) == 0 || len(ctx.Args)%2 != 0 {
 		return nil, &BadArgError{Cmd: ctx.Name, Detail: "expected <u> <v> [<u> <v> ...]"}
 	}
-	b := make(core.Batch, 0, len(ctx.Args)/2)
+	b := ctx.batch[:0]
 	for i := 0; i < len(ctx.Args); i += 2 {
 		u, err := parseNode(ctx, ctx.Args[i])
 		if err != nil {
@@ -91,78 +90,82 @@ func parseBatchArgs(ctx *Ctx, kind core.OpKind) (core.Batch, error) {
 		}
 		b = append(b, core.Op{Kind: kind, U: u, V: v})
 	}
+	ctx.batch = b
 	return b, nil
 }
 
 // minsert is the batched insert: G.MINSERT u1 v1 [u2 v2 ...] applies
 // every pair through the shard-parallel batch path and replies with the
 // number of newly inserted edges.
-func (gm *GraphModule) minsert(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) minsert(ctx *Ctx) error {
 	b, err := parseBatchArgs(ctx, core.OpInsert)
 	if err != nil {
-		return resp.Value{}, err
+		return err
 	}
 	res := ctx.Graph.ApplyBatch(b)
 	if err := walCheck(ctx); err != nil {
-		return resp.Value{}, err
+		return err
 	}
-	return resp.Integer(int64(res.Inserted)), nil
+	ctx.ReplyInt(int64(res.Inserted))
+	return nil
 }
 
 // mdel is the batched delete: G.MDEL u1 v1 [u2 v2 ...] replies with the
 // number of edges actually removed.
-func (gm *GraphModule) mdel(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) mdel(ctx *Ctx) error {
 	b, err := parseBatchArgs(ctx, core.OpDelete)
 	if err != nil {
-		return resp.Value{}, err
+		return err
 	}
 	res := ctx.Graph.ApplyBatch(b)
 	if err := walCheck(ctx); err != nil {
-		return resp.Value{}, err
+		return err
 	}
-	return resp.Integer(int64(res.Deleted)), nil
+	ctx.ReplyInt(int64(res.Deleted))
+	return nil
 }
 
-func (gm *GraphModule) query(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) query(ctx *Ctx) error {
 	u, v, err := parseEdgeArgs(ctx)
 	if err != nil {
-		return resp.Value{}, err
+		return err
 	}
-	if ctx.Graph.HasEdge(u, v) {
-		return resp.Integer(1), nil
-	}
-	return resp.Integer(0), nil
+	ctx.ReplyBool(ctx.Graph.HasEdge(u, v))
+	return nil
 }
 
-func (gm *GraphModule) getNeighbors(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) getNeighbors(ctx *Ctx) error {
 	u, err := parseNode(ctx, ctx.Args[0])
 	if err != nil {
-		return resp.Value{}, err
+		return err
 	}
-	var out []resp.Value
-	ctx.Graph.ForEachSuccessor(u, func(v uint64) bool {
-		out = append(out, resp.Bulk(strconv.FormatUint(v, 10)))
-		return true
-	})
-	return resp.Array(out...), nil
+	// Collect before writing the array header: Degree and the scan can
+	// disagree under concurrent writers, and a header is a promise.
+	ctx.ids = ctx.Graph.AppendSuccessors(u, ctx.ids[:0])
+	ctx.ReplyArrayHeader(len(ctx.ids))
+	for _, v := range ctx.ids {
+		ctx.ReplyBulkUint(v)
+	}
+	return nil
 }
 
 // degree replies with u's out-degree — the engine has always known it,
 // the wire protocol just never asked.
-func (gm *GraphModule) degree(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) degree(ctx *Ctx) error {
 	u, err := parseNode(ctx, ctx.Args[0])
 	if err != nil {
-		return resp.Value{}, err
+		return err
 	}
-	return resp.Integer(int64(ctx.Graph.Degree(u))), nil
+	ctx.ReplyInt(int64(ctx.Graph.Degree(u)))
+	return nil
 }
 
 // nodes replies with every source node (nodes with ≥1 out-edge).
-func (gm *GraphModule) nodes(ctx *Ctx) (resp.Value, error) {
-	var out []resp.Value
-	ctx.Graph.ForEachNode(func(u uint64) bool {
-		out = append(out, resp.Bulk(strconv.FormatUint(u, 10)))
-		return true
-	})
-	return resp.Array(out...), nil
+func (gm *GraphModule) nodes(ctx *Ctx) error {
+	ctx.ids = ctx.Graph.AppendNodes(ctx.ids[:0])
+	ctx.ReplyArrayHeader(len(ctx.ids))
+	for _, u := range ctx.ids {
+		ctx.ReplyBulkUint(u)
+	}
+	return nil
 }

@@ -5,8 +5,6 @@ import (
 	"strconv"
 	"strings"
 	"time"
-
-	"cuckoograph/internal/resp"
 )
 
 // Introspection: the G.INFO command and the module's /metrics hook.
@@ -19,10 +17,10 @@ var infoSections = []string{"server", "commands", "graph", "snapshots", "wal"}
 
 // info is G.INFO [section]: Redis INFO-shaped key:value text, whole or
 // one section at a time.
-func (gm *GraphModule) info(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) info(ctx *Ctx) error {
 	want := ""
 	if len(ctx.Args) == 1 {
-		want = strings.ToLower(ctx.Args[0])
+		want = strings.ToLower(ctx.ArgString(0))
 		ok := false
 		for _, s := range infoSections {
 			if s == want {
@@ -31,7 +29,7 @@ func (gm *GraphModule) info(ctx *Ctx) (resp.Value, error) {
 			}
 		}
 		if !ok {
-			return resp.Value{}, &BadArgError{Cmd: ctx.Name,
+			return &BadArgError{Cmd: ctx.Name,
 				Detail: "unknown section " + strconv.Quote(want) + " (want " + strings.Join(infoSections, "|") + ")"}
 		}
 	}
@@ -57,7 +55,8 @@ func (gm *GraphModule) info(ctx *Ctx) (resp.Value, error) {
 			gm.infoWAL(&b)
 		}
 	}
-	return resp.Bulk(b.String()), nil
+	ctx.ReplyBulkString(b.String())
+	return nil
 }
 
 func (gm *GraphModule) infoServer(ctx *Ctx, b *strings.Builder) {

@@ -7,7 +7,6 @@ import (
 
 	"cuckoograph/internal/analytics"
 	"cuckoograph/internal/graphstore"
-	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
 )
 
@@ -23,7 +22,7 @@ import (
 // otherwise the ring would pin a dead graph's CoW state and, since a
 // fresh graph's epochs restart at 1, could serve pre-restore data
 // under a colliding epoch tag.
-func (gm *GraphModule) snapshot(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) snapshot(ctx *Ctx) error {
 	for {
 		var g *sharded.Graph
 		var v *sharded.View
@@ -43,31 +42,37 @@ func (gm *GraphModule) snapshot(ctx *Ctx) (resp.Value, error) {
 			gm.views = gm.views[1:]
 		}
 		gm.viewMu.Unlock()
-		return resp.Integer(int64(v.Epoch())), nil
+		ctx.ReplyInt(int64(v.Epoch()))
+		return nil
 	}
 }
 
 // snapshots lists the retained epochs of the current graph, oldest
 // first (stale entries awaiting releaseStaleViews are invisible).
-func (gm *GraphModule) snapshots(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) snapshots(ctx *Ctx) error {
 	cur := gm.Graph()
 	gm.viewMu.Lock()
 	defer gm.viewMu.Unlock()
-	out := make([]resp.Value, 0, len(gm.views))
+	epochs := ctx.ids[:0]
 	for _, e := range gm.views {
 		if e.g == cur {
-			out = append(out, resp.Integer(int64(e.v.Epoch())))
+			epochs = append(epochs, e.v.Epoch())
 		}
 	}
-	return resp.Array(out...), nil
+	ctx.ids = epochs
+	ctx.ReplyArrayHeader(len(epochs))
+	for _, e := range epochs {
+		ctx.ReplyInt(int64(e))
+	}
+	return nil
 }
 
 // release drops the retained view with the given epoch, replying 1 if
 // it existed.
-func (gm *GraphModule) release(ctx *Ctx) (resp.Value, error) {
-	epoch, err := strconv.ParseUint(ctx.Args[0], 10, 64)
-	if err != nil {
-		return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "bad epoch " + strconv.Quote(ctx.Args[0])}
+func (gm *GraphModule) release(ctx *Ctx) error {
+	epoch, ok := parseUint64(ctx.Args[0])
+	if !ok {
+		return &BadArgError{Cmd: ctx.Name, Detail: "bad epoch " + strconv.Quote(ctx.ArgString(0))}
 	}
 	cur := gm.Graph()
 	gm.viewMu.Lock()
@@ -78,10 +83,12 @@ func (gm *GraphModule) release(ctx *Ctx) (resp.Value, error) {
 		if e.g == cur && e.v.Epoch() == epoch {
 			e.v.Release()
 			gm.views = append(gm.views[:i], gm.views[i+1:]...)
-			return resp.Integer(1), nil
+			ctx.ReplyInt(1)
+			return nil
 		}
 	}
-	return resp.Integer(0), nil
+	ctx.ReplyInt(0)
+	return nil
 }
 
 // analyticsStore resolves the store an epoch-tagged analytics command
@@ -113,43 +120,43 @@ func (gm *GraphModule) analyticsStore(epochArg string) (graphstore.Store, func()
 
 // graphBFS is GRAPH.BFS <root> [epoch]: breadth-first traversal over a
 // frozen view, replying with the visited nodes in traversal order.
-func (gm *GraphModule) graphBFS(ctx *Ctx) (resp.Value, error) {
-	root, err := strconv.ParseUint(ctx.Args[0], 10, 64)
-	if err != nil {
-		return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "bad node id " + strconv.Quote(ctx.Args[0])}
+func (gm *GraphModule) graphBFS(ctx *Ctx) error {
+	root, ok := parseUint64(ctx.Args[0])
+	if !ok {
+		return &BadArgError{Cmd: ctx.Name, Detail: "bad node id " + strconv.Quote(ctx.ArgString(0))}
 	}
 	epochArg := ""
 	if len(ctx.Args) == 2 {
-		epochArg = ctx.Args[1]
+		epochArg = ctx.ArgString(1)
 	}
 	s, cleanup, err := gm.analyticsStore(epochArg)
 	if err != nil {
-		return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: err.Error()}
+		return &BadArgError{Cmd: ctx.Name, Detail: err.Error()}
 	}
 	defer cleanup()
 	order := analytics.BFS(s, root)
-	out := make([]resp.Value, len(order))
-	for i, u := range order {
-		out[i] = resp.Integer(int64(u))
+	ctx.ReplyArrayHeader(len(order))
+	for _, u := range order {
+		ctx.ReplyInt(int64(u))
 	}
-	return resp.Array(out...), nil
+	return nil
 }
 
 // graphPageRank is GRAPH.PAGERANK <iters> [epoch]: the power method
 // over a frozen view, replying with a flat array of node, rank pairs
 // sorted by node id.
-func (gm *GraphModule) graphPageRank(ctx *Ctx) (resp.Value, error) {
-	iters, err := strconv.Atoi(ctx.Args[0])
+func (gm *GraphModule) graphPageRank(ctx *Ctx) error {
+	iters, err := strconv.Atoi(ctx.ArgString(0))
 	if err != nil || iters < 1 {
-		return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: "bad iteration count " + strconv.Quote(ctx.Args[0])}
+		return &BadArgError{Cmd: ctx.Name, Detail: "bad iteration count " + strconv.Quote(ctx.ArgString(0))}
 	}
 	epochArg := ""
 	if len(ctx.Args) == 2 {
-		epochArg = ctx.Args[1]
+		epochArg = ctx.ArgString(1)
 	}
 	s, cleanup, err := gm.analyticsStore(epochArg)
 	if err != nil {
-		return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: err.Error()}
+		return &BadArgError{Cmd: ctx.Name, Detail: err.Error()}
 	}
 	defer cleanup()
 	rank := analytics.PageRank(s, iters)
@@ -158,11 +165,10 @@ func (gm *GraphModule) graphPageRank(ctx *Ctx) (resp.Value, error) {
 		nodes = append(nodes, u)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	out := make([]resp.Value, 0, 2*len(nodes))
+	ctx.ReplyArrayHeader(2 * len(nodes))
 	for _, u := range nodes {
-		out = append(out,
-			resp.Integer(int64(u)),
-			resp.Bulk(strconv.FormatFloat(rank[u], 'g', 10, 64)))
+		ctx.ReplyInt(int64(u))
+		ctx.ReplyBulkString(strconv.FormatFloat(rank[u], 'g', 10, 64))
 	}
-	return resp.Array(out...), nil
+	return nil
 }

@@ -3,7 +3,6 @@ package redislike
 import (
 	"fmt"
 
-	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/wal"
 )
@@ -114,35 +113,38 @@ func (gm *GraphModule) CloseWAL() error {
 	return err
 }
 
-func (gm *GraphModule) walEnable(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) walEnable(ctx *Ctx) error {
 	mode := ""
 	if len(ctx.Args) == 2 {
-		mode = ctx.Args[1]
+		mode = ctx.ArgString(1)
 	}
 	sync, err := wal.ParseSyncPolicy(mode)
 	if err != nil {
-		return resp.Value{}, &BadArgError{Cmd: ctx.Name, Detail: err.Error()}
+		return &BadArgError{Cmd: ctx.Name, Detail: err.Error()}
 	}
-	if err := gm.EnableWAL(ctx.Args[0], wal.Options{Sync: sync}); err != nil {
-		return resp.Value{}, &WALError{Cmd: ctx.Name, Err: err}
+	if err := gm.EnableWAL(ctx.ArgString(0), wal.Options{Sync: sync}); err != nil {
+		return &WALError{Cmd: ctx.Name, Err: err}
 	}
-	return resp.Simple("OK"), nil
+	ctx.ReplySimple("OK")
+	return nil
 }
 
-func (gm *GraphModule) walReplay(ctx *Ctx) (resp.Value, error) {
-	stats, err := gm.RecoverWAL(ctx.Args[0])
+func (gm *GraphModule) walReplay(ctx *Ctx) error {
+	stats, err := gm.RecoverWAL(ctx.ArgString(0))
 	if err != nil {
-		return resp.Value{}, &WALError{Cmd: ctx.Name, Err: err}
+		return &WALError{Cmd: ctx.Name, Err: err}
 	}
-	return resp.Bulk(fmt.Sprintf("edges=%d records=%d segments=%d torn_bytes=%d snapshot=%s",
+	ctx.ReplyBulkString(fmt.Sprintf("edges=%d records=%d segments=%d torn_bytes=%d snapshot=%s",
 		gm.Graph().NumEdges(), stats.Replay.Records, stats.Replay.Segments,
-		stats.Replay.TornBytes, stats.Snapshot)), nil
+		stats.Replay.TornBytes, stats.Snapshot))
+	return nil
 }
 
-func (gm *GraphModule) checkpoint(ctx *Ctx) (resp.Value, error) {
+func (gm *GraphModule) checkpoint(ctx *Ctx) error {
 	path, err := gm.Checkpoint()
 	if err != nil {
-		return resp.Value{}, &WALError{Cmd: ctx.Name, Err: err}
+		return &WALError{Cmd: ctx.Name, Err: err}
 	}
-	return resp.Bulk(path), nil
+	ctx.ReplyBulkString(path)
+	return nil
 }

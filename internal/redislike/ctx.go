@@ -1,0 +1,129 @@
+package redislike
+
+import (
+	"math"
+
+	"cuckoograph/internal/core"
+	"cuckoograph/internal/resp"
+	"cuckoograph/internal/sharded"
+)
+
+// Ctx carries one command invocation to its handler: the resolved name,
+// the arguments (name excluded, arity already validated against the
+// registration), the graph handle for data-plane commands, the
+// originating connection's state, and the reply writer. One Ctx lives
+// per connection and is reused across every command it serves — the
+// scratch fields below are what make the hot data-plane commands
+// allocation-free.
+type Ctx struct {
+	// Name is the resolved (lowercased) command name.
+	Name string
+	// Args are the command's arguments as byte-slice views into the
+	// connection's read buffer — valid only for the handler's duration.
+	// Handlers that retain an argument must copy it.
+	Args [][]byte
+
+	// Graph is the current graph, resolved under the module's swap lock
+	// for the duration of the handler. It is set only for commands
+	// registered through the graph module's data-plane wrapper; control-
+	// plane handlers coordinate their own graph access and swap locking.
+	Graph *sharded.Graph
+
+	// Conn is the per-connection state, nil when the command was
+	// dispatched in-process (tests, benchmarks, AOF replay).
+	Conn *ConnState
+
+	srv *Server
+	w   *resp.Writer
+
+	// Per-connection scratch, reused across commands:
+	nameBuf []byte     // lowercased command name
+	batch   core.Batch // decoded G.MINSERT/G.MDEL pairs
+	ids     []uint64   // collected node ids (G.GETNEIGHBORS, G.NODES)
+}
+
+// Server returns the server dispatching the command.
+func (c *Ctx) Server() *Server { return c.srv }
+
+// Arg returns argument i as a byte view (see Args for its lifetime).
+func (c *Ctx) Arg(i int) []byte { return c.Args[i] }
+
+// ArgString returns argument i as a string copy — for cold paths that
+// need one; the hot path works on the byte views directly.
+func (c *Ctx) ArgString(i int) string { return string(c.Args[i]) }
+
+// The Reply methods stream the handler's reply into the connection's
+// writer. A handler must either write exactly one reply (an array
+// header plus its elements counts as one) or return an error; dispatch
+// rewinds partial output on error so the wire sees a single reply
+// either way.
+
+// ReplySimple writes a "+" simple-string reply.
+func (c *Ctx) ReplySimple(s string) { c.w.AppendSimple(s) }
+
+// ReplyInt writes a ":" integer reply.
+func (c *Ctx) ReplyInt(n int64) { c.w.AppendInt(n) }
+
+// ReplyBool writes the conventional :1 / :0 integer reply.
+func (c *Ctx) ReplyBool(b bool) {
+	if b {
+		c.w.AppendInt(1)
+	} else {
+		c.w.AppendInt(0)
+	}
+}
+
+// ReplyBulk writes a "$" bulk reply from bytes.
+func (c *Ctx) ReplyBulk(b []byte) { c.w.AppendBulk(b) }
+
+// ReplyBulkString writes a "$" bulk reply from a string.
+func (c *Ctx) ReplyBulkString(s string) { c.w.AppendBulkString(s) }
+
+// ReplyBulkUint writes an unsigned integer as a decimal bulk reply —
+// the shape node-id lists use on the wire.
+func (c *Ctx) ReplyBulkUint(n uint64) { c.w.AppendBulkUint(n) }
+
+// ReplyNullBulk writes the RESP2 null bulk reply ("$-1").
+func (c *Ctx) ReplyNullBulk() { c.w.AppendNullBulk() }
+
+// ReplyArrayHeader opens an n-element array reply; the handler must
+// follow it with exactly n replies.
+func (c *Ctx) ReplyArrayHeader(n int) { c.w.AppendArrayHeader(n) }
+
+// ReplyValue writes a boxed Value tree — the bridge for cold
+// introspection replies (COMMAND, G.INFO) that are assembled rather
+// than streamed.
+func (c *Ctx) ReplyValue(v resp.Value) { c.w.AppendValue(v) }
+
+// parseUint64 decodes a decimal uint64 from bytes without the string
+// copy strconv.ParseUint would force on the hot path. It accepts
+// exactly what ParseUint(s, 10, 64) does: one or more digits, no sign.
+func parseUint64(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// appendLower lowercases ASCII src into dst — command-name folding
+// without a strings.ToLower allocation.
+func appendLower(dst, src []byte) []byte {
+	for _, c := range src {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}

@@ -115,10 +115,11 @@ func TestShutdownFinishesInFlightCommand(t *testing.T) {
 	release := make(chan struct{})
 	err := s.Registry().Register(&Command{
 		Name: "t.slow", Arity: Exactly(0), Summary: "test: block until released",
-		Handler: func(ctx *Ctx) (resp.Value, error) {
+		Handler: func(ctx *Ctx) error {
 			close(started)
 			<-release
-			return resp.Simple("SLOW-OK"), nil
+			ctx.ReplySimple("SLOW-OK")
+			return nil
 		},
 	})
 	if err != nil {
@@ -235,13 +236,14 @@ func TestConnStateCounts(t *testing.T) {
 	seen := make(chan uint64, 1)
 	err := s.Registry().Register(&Command{
 		Name: "t.conn", Arity: Exactly(0),
-		Handler: func(ctx *Ctx) (resp.Value, error) {
+		Handler: func(ctx *Ctx) error {
 			if ctx.Conn == nil {
 				seen <- 0
 			} else {
 				seen <- ctx.Conn.Commands
 			}
-			return resp.Simple("OK"), nil
+			ctx.ReplySimple("OK")
+			return nil
 		},
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -46,25 +47,37 @@ func (m *cmdMetrics) observe(d time.Duration, failed bool) {
 
 // Metrics is the server's observability state: per-command meters plus
 // connection-lifecycle counters, exported in Prometheus text format.
+// Dispatch never looks a meter up by name: each Command carries its
+// *cmdMetrics handle, resolved once at registration (unknown commands
+// pool under the pre-resolved "unknown" meter), so the per-command cost
+// is a few atomic adds.
 type Metrics struct {
 	start time.Time
 	cmds  sync.Map // command name -> *cmdMetrics
+
+	// unknown meters dispatches of unregistered names, resolved once at
+	// construction.
+	unknown *cmdMetrics
 
 	connsAccepted atomic.Uint64
 	connsRejected atomic.Uint64
 	connsActive   atomic.Int64
 }
 
-func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+func newMetrics() *Metrics {
+	m := &Metrics{start: time.Now()}
+	m.unknown = m.handle("unknown")
+	return m
+}
 
-// record meters one dispatched command under its resolved name;
-// unknown commands pool under "unknown".
-func (m *Metrics) record(name string, d time.Duration, failed bool) {
-	v, ok := m.cmds.Load(name)
-	if !ok {
-		v, _ = m.cmds.LoadOrStore(name, &cmdMetrics{})
+// handle resolves (creating on first use) the meter for name — called
+// at registration time, never per command.
+func (m *Metrics) handle(name string) *cmdMetrics {
+	if v, ok := m.cmds.Load(name); ok {
+		return v.(*cmdMetrics)
 	}
-	v.(*cmdMetrics).observe(d, failed)
+	v, _ := m.cmds.LoadOrStore(name, &cmdMetrics{})
+	return v.(*cmdMetrics)
 }
 
 // CommandCalls reports how many times name has been dispatched.
@@ -234,9 +247,16 @@ func (s *Server) MetricsHandler() http.Handler {
 	})
 }
 
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ on the metrics listener. Call it before ListenMetrics;
+// the handlers expose heap, CPU and goroutine profiles of the serving
+// plane, so keep the listener on a private interface.
+func (s *Server) EnablePprof() { s.pprofOn.Store(true) }
+
 // ListenMetrics starts the observability HTTP listener on addr, serving
-// GET /metrics (Prometheus text format) and GET /healthz (200 while
-// serving, 503 once draining). It returns the bound address; the
+// GET /metrics (Prometheus text format), GET /healthz (200 while
+// serving, 503 once draining) and — after EnablePprof — the
+// /debug/pprof/ profile endpoints. It returns the bound address; the
 // listener is closed during Shutdown.
 func (s *Server) ListenMetrics(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -252,6 +272,13 @@ func (s *Server) ListenMetrics(addr string) (string, error) {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	if s.pprofOn.Load() {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	s.connMu.Lock()
 	s.metricsSrv, s.metricsAddr = srv, ln.Addr().String()

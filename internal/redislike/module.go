@@ -10,7 +10,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"cuckoograph/internal/resp"
 	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/wal"
 )
@@ -197,7 +196,7 @@ func (gm *GraphModule) withGraph(f func(g *sharded.Graph)) {
 // walMu themselves, and holding the read lock across them could
 // deadlock against a writer.
 func (gm *GraphModule) dataCmd(h HandlerFunc) HandlerFunc {
-	return func(ctx *Ctx) (resp.Value, error) {
+	return func(ctx *Ctx) error {
 		gm.swapMu.RLock()
 		defer gm.swapMu.RUnlock()
 		ctx.Graph = gm.g

@@ -5,9 +5,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-
-	"cuckoograph/internal/resp"
-	"cuckoograph/internal/sharded"
 )
 
 // Flags classify a command for dispatch-time policy and introspection.
@@ -68,32 +65,11 @@ func (a Arity) Redis() int64 {
 	return -int64(a.Min + 1)
 }
 
-// Ctx carries one command invocation to its handler: the resolved name,
-// the arguments (name excluded, arity already validated against the
-// registration), the graph handle for data-plane commands, and the
-// originating connection's state (nil for in-process Dispatch).
-type Ctx struct {
-	Name string
-	Args []string
-
-	// Graph is the current graph, resolved under the module's swap lock
-	// for the duration of the handler. It is set only for commands
-	// registered through the graph module's data-plane wrapper; control-
-	// plane handlers coordinate their own graph access and swap locking.
-	Graph *sharded.Graph
-
-	// Conn is the per-connection state, nil when the command was
-	// dispatched in-process (tests, benchmarks, AOF replay).
-	Conn *ConnState
-
-	srv *Server
-}
-
-// Server returns the server dispatching the command.
-func (c *Ctx) Server() *Server { return c.srv }
-
-// HandlerFunc serves one command.
-type HandlerFunc func(*Ctx) (resp.Value, error)
+// HandlerFunc serves one command, streaming its reply through the Ctx
+// (see the Reply methods). Returning a non-nil error discards anything
+// the handler already wrote and sends one typed error reply instead —
+// so a failure is always a single well-formed reply in pipeline order.
+type HandlerFunc func(*Ctx) error
 
 // Command is the unit of registration: everything the server needs to
 // admit, dispatch, meter and introspect one command. The registry entry
@@ -106,6 +82,12 @@ type Command struct {
 	Flags   Flags
 	Summary string // one-line description for introspection
 	Handler HandlerFunc
+
+	// metrics is the command's meter, resolved once at registration by
+	// the owning server so dispatch never takes the metrics map lookup
+	// on the hot path. Nil for registries without a server (tests);
+	// dispatch then falls back to a by-name resolve.
+	metrics *cmdMetrics
 }
 
 // Registry maps command names to registrations. Lookups are
@@ -113,6 +95,10 @@ type Command struct {
 type Registry struct {
 	mu   sync.RWMutex
 	cmds map[string]*Command
+
+	// onRegister, when set by the owning server, finalises each stored
+	// registration (resolving its metrics handle) under the write lock.
+	onRegister func(*Command)
 }
 
 // NewRegistry returns an empty registry.
@@ -136,6 +122,9 @@ func (r *Registry) Register(c *Command) error {
 	}
 	cc := *c
 	cc.Name = name
+	if r.onRegister != nil {
+		r.onRegister(&cc)
+	}
 	r.cmds[name] = &cc
 	return nil
 }
@@ -145,6 +134,16 @@ func (r *Registry) Lookup(name string) (*Command, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	c, ok := r.cmds[name]
+	return c, ok
+}
+
+// LookupBytes resolves a lowercased name held as bytes without copying
+// it to a string — the hot-path lookup. The string conversion in the
+// map index compiles to a no-alloc lookup.
+func (r *Registry) LookupBytes(name []byte) (*Command, bool) {
+	r.mu.RLock()
+	c, ok := r.cmds[string(name)]
+	r.mu.RUnlock()
 	return c, ok
 }
 

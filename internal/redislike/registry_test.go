@@ -10,7 +10,7 @@ import (
 func TestRegistryRegister(t *testing.T) {
 	r := NewRegistry()
 	ok := &Command{Name: "G.Test", Arity: Exactly(1),
-		Handler: func(*Ctx) (resp.Value, error) { return resp.Simple("OK"), nil }}
+		Handler: func(ctx *Ctx) error { ctx.ReplySimple("OK"); return nil }}
 	if err := r.Register(ok); err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestRegistryRegister(t *testing.T) {
 		t.Fatal("nil handler accepted")
 	}
 	if err := r.Register(&Command{Name: "", Arity: Exactly(0),
-		Handler: func(*Ctx) (resp.Value, error) { return resp.Value{}, nil }}); err == nil {
+		Handler: func(*Ctx) error { return nil }}); err == nil {
 		t.Fatal("empty name accepted")
 	}
 	if got := r.Len(); got != 1 {
@@ -35,7 +35,7 @@ func TestRegistryRegister(t *testing.T) {
 
 func TestRegistryCommandsSorted(t *testing.T) {
 	r := NewRegistry()
-	h := func(*Ctx) (resp.Value, error) { return resp.Value{}, nil }
+	h := func(*Ctx) error { return nil }
 	for _, name := range []string{"zz", "aa", "mm"} {
 		if err := r.Register(&Command{Name: name, Handler: h}); err != nil {
 			t.Fatal(err)

@@ -14,21 +14,31 @@
 // errors (see errors.go) that dispatch maps onto RESP error classes, so
 // a failure is always a well-formed reply in pipeline order.
 //
-// The per-connection read loop pipelines: replies are flushed when the
-// input buffer drains, so a burst of commands pays one write(2) for all
-// its replies. Connections are admission-controlled (MaxConns rejects
-// with -MAXCLIENTS rather than hanging the dial), commands run under
-// per-command read/write deadlines, and Shutdown drains: in-flight
-// commands finish and flush, then modules tear down in order.
+// The serving plane is allocation-free for warm hot commands: requests
+// are parsed into byte-slice views of the connection's read buffer,
+// each connection reuses one Ctx (with name/batch/ids scratch) and one
+// streaming resp.Writer that handlers append replies into, and
+// per-command metrics are resolved once at registration instead of per
+// call. The read loop pipelines: replies accumulate in the writer and
+// are flushed when the input buffer drains or the buffered replies
+// pass the flush high-water mark, so a burst of commands pays one
+// write(2) — or one writev when large bulk payloads are referenced
+// zero-copy — for all its replies. Connections are admission-
+// controlled (MaxConns rejects with -MAXCLIENTS rather than hanging
+// the dial), commands run under per-command read/write deadlines, and
+// Shutdown drains: in-flight commands finish and flush, then modules
+// tear down in order.
 package redislike
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -124,6 +134,9 @@ type Server struct {
 	connWG      sync.WaitGroup
 	metricsSrv  httpCloser
 	metricsAddr string
+
+	// pprofOn mounts /debug/pprof/ on the metrics listener (EnablePprof).
+	pprofOn atomic.Bool
 }
 
 // httpCloser is the slice of *http.Server Shutdown needs.
@@ -149,6 +162,9 @@ func NewServerWith(cfg Config) *Server {
 		shutdownDone: make(chan struct{}),
 		conns:        make(map[*resp.Conn]struct{}),
 	}
+	// Resolve each registration's metrics handle up front, so dispatch
+	// meters with two atomic adds and never a map lookup.
+	s.reg.onRegister = func(c *Command) { c.metrics = s.metrics.handle(c.Name) }
 	s.registerBuiltins()
 	return s
 }
@@ -359,6 +375,11 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// flushHighWater bounds how many reply bytes may accumulate before a
+// pipelined burst forces an intermediate flush: without it a deep
+// pipeline of large replies would buffer the whole burst in memory.
+const flushHighWater = 64 << 10
+
 func (s *Server) serve(nc net.Conn) {
 	c := resp.NewConn(nc)
 	c.ReadTimeout = s.cfg.ReadTimeout
@@ -368,7 +389,7 @@ func (s *Server) serve(nc net.Conn) {
 		// why instead of watching a hang or a bare RST.
 		s.metrics.connsRejected.Add(1)
 		s.log.Debug("connection rejected", "remote", c.RemoteAddr(), "reason", err.Error())
-		c.WriteValue(errorReply(err))
+		c.W.AppendError(errorClass(err) + " " + err.Error())
 		c.Flush()
 		c.Close()
 		return
@@ -376,17 +397,22 @@ func (s *Server) serve(nc net.Conn) {
 	defer c.Close()
 	defer s.untrack(c)
 	cs := &ConnState{RemoteAddr: c.RemoteAddr(), ConnectedAt: time.Now()}
+	// One Ctx per connection, reused across every command it serves:
+	// its scratch buffers are what keep the command cycle allocation-
+	// free once warm.
+	ctx := &Ctx{srv: s, w: &c.W, Conn: cs}
 	s.log.Debug("connection accepted", "remote", cs.RemoteAddr)
 	defer func() {
 		s.log.Debug("connection closed", "remote", cs.RemoteAddr, "commands", cs.Commands)
 	}()
 	for {
-		req, err := c.ReadCommand()
+		req, err := c.ReadRequest()
 		if err != nil {
 			if errors.Is(err, resp.ErrProtocol) {
 				// The stream is desynced beyond this point; answer with a
 				// typed error so the client knows why, then drop it.
-				c.WriteValue(errorReply(&BadArgError{Cmd: "protocol", Detail: err.Error()}))
+				perr := &BadArgError{Cmd: "protocol", Detail: err.Error()}
+				c.W.AppendError(errorClass(perr) + " " + perr.Error())
 				c.Flush()
 				s.log.Debug("protocol error", "remote", cs.RemoteAddr, "err", err)
 			} else if !errors.Is(err, io.EOF) && !errors.Is(err, resp.ErrAborted) {
@@ -395,16 +421,13 @@ func (s *Server) serve(nc net.Conn) {
 			return
 		}
 		cs.Commands++
-		reply := s.dispatch(req, cs)
-		if err := c.WriteValue(reply); err != nil {
-			s.log.Debug("write failed", "remote", cs.RemoteAddr, "err", err)
-			return
-		}
+		s.serveRequest(ctx, req.Args)
 		// Pipelining: while the client has already sent more commands,
 		// keep replies buffered and dispatch straight into the backlog —
-		// one syscall then answers the whole burst. Flush only when the
-		// input drains and the next Read would block.
-		if c.Buffered() == 0 {
+		// one syscall then answers the whole burst. Flush when the input
+		// drains (the next read would block) or the reply buffer passes
+		// the high-water mark.
+		if c.Buffered() == 0 || c.W.Len() >= flushHighWater {
 			if err := c.Flush(); err != nil {
 				s.log.Debug("flush failed", "remote", cs.RemoteAddr, "err", err)
 				return
@@ -419,45 +442,89 @@ func (s *Server) serve(nc net.Conn) {
 	}
 }
 
-// Dispatch executes one already-decoded command; exported so tests and
-// benchmarks can measure command cost without socket overhead.
-func (s *Server) Dispatch(req resp.Value) resp.Value { return s.dispatch(req, nil) }
+// serveRequest is the registry-driven command path: resolve, enforce
+// arity, apply flag policy, run the handler, map typed errors to RESP
+// classes, meter everything. Exactly one well-formed reply lands in the
+// ctx's writer — a handler error rewinds any partial output first, so
+// pipelined replies never desync.
+func (s *Server) serveRequest(ctx *Ctx, args [][]byte) {
+	w := ctx.w
+	if len(args) == 0 {
+		e := &BadArgError{Cmd: "protocol", Detail: "expected command array"}
+		w.AppendError(errorClass(e) + " " + e.Error())
+		return
+	}
+	ctx.nameBuf = appendLower(ctx.nameBuf[:0], args[0])
+	start := time.Now()
+	cmd, ok := s.reg.LookupBytes(ctx.nameBuf)
+	if !ok {
+		e := &UnknownCommandError{Cmd: string(ctx.nameBuf)}
+		w.AppendError(errorClass(e) + " " + e.Error())
+		s.metrics.unknown.observe(time.Since(start), true)
+		return
+	}
+	m := cmd.metrics
+	if m == nil {
+		// Registered on a bare registry (no owning server): resolve by
+		// name, off the precomputed path.
+		m = s.metrics.handle(cmd.Name)
+	}
+	var err error
+	switch {
+	case !cmd.Arity.Check(len(args) - 1):
+		err = &ArityError{Cmd: cmd.Name}
+	case cmd.Flags&FlagWrite != 0 && s.loading.Load():
+		err = &LoadingError{}
+	default:
+		ctx.Name = cmd.Name
+		ctx.Args = args[1:]
+		ctx.Graph = nil
+		mark := w.Mark()
+		before := w.Len()
+		if err = cmd.Handler(ctx); err != nil {
+			w.Rewind(mark)
+		} else if w.Len() == before {
+			err = fmt.Errorf("command %q produced no reply", cmd.Name)
+		}
+	}
+	if err != nil {
+		w.AppendError(errorClass(err) + " " + err.Error())
+	}
+	m.observe(time.Since(start), err != nil)
+}
 
-// dispatch is the registry-driven command path: resolve, enforce arity,
-// apply flag policy, run the handler, map typed errors to RESP classes,
-// meter everything.
-func (s *Server) dispatch(req resp.Value, cs *ConnState) resp.Value {
+// dispatcher is the pooled state behind Dispatch: one in-process
+// command cycle — encode args, serve, decode the reply — with no
+// socket.
+type dispatcher struct {
+	w    resp.Writer
+	ctx  Ctx
+	args [][]byte
+}
+
+var dispatcherPool = sync.Pool{New: func() any { return new(dispatcher) }}
+
+// Dispatch executes one already-decoded command; exported so tests,
+// benchmarks and replay can measure command cost without socket
+// overhead. It runs the same serveRequest path as the TCP loop and
+// decodes the streamed reply back into a boxed Value.
+func (s *Server) Dispatch(req resp.Value) resp.Value {
 	if req.Type != '*' || len(req.Array) == 0 {
 		return errorReply(&BadArgError{Cmd: "protocol", Detail: "expected command array"})
 	}
-	name := strings.ToLower(req.Array[0].Str)
-	start := time.Now()
-	reply, err := s.invoke(name, req, cs)
+	d := dispatcherPool.Get().(*dispatcher)
+	d.args = d.args[:0]
+	for _, v := range req.Array {
+		d.args = append(d.args, []byte(v.Str))
+	}
+	d.ctx.srv, d.ctx.w = s, &d.w
+	d.ctx.Conn, d.ctx.Graph = nil, nil
+	s.serveRequest(&d.ctx, d.args)
+	reply, err := resp.Read(bufio.NewReader(bytes.NewReader(d.w.Bytes())))
+	d.w.Reset()
+	dispatcherPool.Put(d)
 	if err != nil {
-		reply = errorReply(err)
+		return errorReply(&BadArgError{Cmd: "protocol", Detail: "reply decode: " + err.Error()})
 	}
-	mname := name
-	if _, known := s.reg.Lookup(name); !known {
-		mname = "unknown"
-	}
-	s.metrics.record(mname, time.Since(start), err != nil)
 	return reply
-}
-
-func (s *Server) invoke(name string, req resp.Value, cs *ConnState) (resp.Value, error) {
-	cmd, ok := s.reg.Lookup(name)
-	if !ok {
-		return resp.Value{}, &UnknownCommandError{Cmd: name}
-	}
-	if !cmd.Arity.Check(len(req.Array) - 1) {
-		return resp.Value{}, &ArityError{Cmd: name}
-	}
-	if cmd.Flags&FlagWrite != 0 && s.loading.Load() {
-		return resp.Value{}, &LoadingError{}
-	}
-	args := make([]string, len(req.Array)-1)
-	for i, v := range req.Array[1:] {
-		args[i] = v.Str
-	}
-	return cmd.Handler(&Ctx{Name: name, Args: args, Conn: cs, srv: s})
 }

@@ -1,37 +1,60 @@
 package resp
 
 import (
-	"bufio"
 	"errors"
 	"net"
+	"slices"
 	"sync/atomic"
 	"time"
 )
 
-// ErrAborted is returned by ReadCommand on a connection whose Abort has
+// ErrAborted is returned by ReadRequest on a connection whose Abort has
 // been called — the server is draining and no further commands are
 // accepted on it.
 var ErrAborted = errors.New("resp: connection aborted")
 
-// Conn wraps a network connection with buffered RESP framing and
-// per-command deadlines. A server connection spends most of its life
-// idle, waiting for the next command, and that wait must be unbounded —
-// but once a command starts arriving, a peer that stalls mid-frame
-// would otherwise pin the connection (and whatever the handler holds)
-// forever. ReadCommand therefore waits for the first byte with no
-// deadline and arms ReadTimeout only for the remainder of the frame;
-// WriteValue and Flush arm WriteTimeout so a reply to a non-reading
-// client errors out instead of hanging the serve loop.
+const (
+	// readBufInit is the initial (and post-shrink) read buffer capacity.
+	readBufInit = 4 << 10
+	// retainedReadBytes caps the read buffer capacity kept once the
+	// buffered input drains: a one-off huge command (a 10MB G.MINSERT)
+	// grows the buffer for its own parse but must not pin that memory
+	// for the connection's lifetime (grow-then-shrink).
+	retainedReadBytes = 64 << 10
+	// readChunk bounds each read-buffer growth step, so a length prefix
+	// claiming MaxBulkBytes reserves memory only as payload arrives.
+	readChunk = 64 << 10
+)
+
+// Conn is one server-side connection: a zero-allocation RESP request
+// reader and a streaming reply Writer over the same socket. Requests
+// are parsed in place — Args are views into the read buffer, valid
+// until the next ReadRequest — and replies accumulate in W until Flush
+// pushes them with one write (vectored when large bulk replies are
+// spliced in).
+//
+// A connection spends most of its life idle waiting for the next
+// command, and that wait must be unbounded — but once a command starts
+// arriving, a peer stalling mid-frame would pin the connection forever.
+// ReadRequest therefore waits for the first byte with no deadline and
+// arms ReadTimeout only while the rest of the frame trickles in; Flush
+// arms WriteTimeout so replying to a non-reading client errors out
+// instead of hanging the serve loop.
 type Conn struct {
 	nc net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
+
+	// W buffers encoded replies until Flush.
+	W Writer
+
+	rbuf []byte
+	rpos int
+	req  Request
+	vecs net.Buffers
 
 	// ReadTimeout bounds how long the rest of a command may take to
 	// arrive after its first byte. Zero disables the bound.
 	ReadTimeout time.Duration
-	// WriteTimeout bounds each buffered write and flush of replies.
-	// Zero disables the bound.
+	// WriteTimeout bounds each reply flush. Zero disables the bound.
 	WriteTimeout time.Duration
 
 	aborted atomic.Bool
@@ -40,7 +63,7 @@ type Conn struct {
 // NewConn wraps nc. Deadlines are disabled until the timeout fields are
 // set.
 func NewConn(nc net.Conn) *Conn {
-	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	return &Conn{nc: nc, rbuf: make([]byte, 0, readBufInit)}
 }
 
 // RemoteAddr reports the peer address.
@@ -50,8 +73,8 @@ func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
 func (c *Conn) Close() error { return c.nc.Close() }
 
 // Abort marks the connection as draining and interrupts a reader parked
-// in ReadCommand's idle wait by expiring its read deadline. The store
-// happens before the deadline poke, and ReadCommand re-checks the flag
+// in ReadRequest's idle wait by expiring its read deadline. The store
+// happens before the deadline poke, and ReadRequest re-checks the flag
 // after clearing the deadline, so the two cannot interleave into a
 // reader blocked forever past an Abort.
 func (c *Conn) Abort() {
@@ -62,58 +85,121 @@ func (c *Conn) Abort() {
 // Aborted reports whether Abort has been called.
 func (c *Conn) Aborted() bool { return c.aborted.Load() }
 
-// ReadCommand decodes the next RESP value from the connection. The wait
-// for the first byte of a command is unbounded (an idle client is not
-// an error); once a command has started, the rest of it must arrive
-// within ReadTimeout.
-func (c *Conn) ReadCommand() (Value, error) {
-	if c.aborted.Load() {
-		return Value{}, ErrAborted
-	}
-	if c.r.Buffered() == 0 {
-		// Idle: wait for the first byte with no deadline.
-		c.nc.SetReadDeadline(time.Time{})
-		if c.aborted.Load() {
-			// Abort raced the deadline clear; re-expire so the Peek below
-			// cannot park forever.
-			c.nc.SetReadDeadline(time.Now())
-		}
-		if _, err := c.r.Peek(1); err != nil {
-			if c.aborted.Load() {
-				return Value{}, ErrAborted
-			}
-			return Value{}, err
-		}
-	}
-	if c.ReadTimeout > 0 {
-		c.nc.SetReadDeadline(time.Now().Add(c.ReadTimeout))
-	}
-	v, err := Read(c.r)
-	if err != nil && c.aborted.Load() {
-		return Value{}, ErrAborted
-	}
-	return v, err
-}
-
-// WriteValue encodes v into the write buffer. Large replies spill to
-// the socket as the buffer fills, so the write deadline is armed here
-// as well as in Flush.
-func (c *Conn) WriteValue(v Value) error {
-	if c.WriteTimeout > 0 {
-		c.nc.SetWriteDeadline(time.Now().Add(c.WriteTimeout))
-	}
-	return Write(c.w, v)
-}
-
 // Buffered reports how many request bytes are already in the read
 // buffer — the pipelining signal: flush replies only when it reaches
 // zero and the next read would block.
-func (c *Conn) Buffered() int { return c.r.Buffered() }
+func (c *Conn) Buffered() int { return len(c.rbuf) - c.rpos }
 
-// Flush pushes buffered replies to the socket under WriteTimeout.
+// ReadRequest decodes the next client command. The returned Request
+// (and its argument views) is owned by the Conn and valid until the
+// next ReadRequest. The wait for the first byte of a command is
+// unbounded (an idle client is not an error); once a command has
+// started, each further chunk must arrive within ReadTimeout.
+func (c *Conn) ReadRequest() (*Request, error) {
+	if c.aborted.Load() {
+		return nil, ErrAborted
+	}
+	for {
+		if c.rpos < len(c.rbuf) {
+			args, n, err := parseRequest(c.rbuf[c.rpos:], c.req.Args[:0])
+			if err == nil {
+				c.req.Args = args
+				c.rpos += n
+				return &c.req, nil
+			}
+			if err != errIncomplete {
+				return nil, err
+			}
+		} else if c.rpos > 0 {
+			// Input fully drained: recycle the buffer, shrinking capacity a
+			// large command inflated. Pending zero-copy reply refs may point
+			// into it, in which case a fresh buffer preserves them.
+			c.rpos = 0
+			switch {
+			case cap(c.rbuf) > retainedReadBytes:
+				c.rbuf = make([]byte, 0, readBufInit)
+			case c.W.HasRefs():
+				c.rbuf = make([]byte, 0, cap(c.rbuf))
+			default:
+				c.rbuf = c.rbuf[:0]
+			}
+		}
+		if err := c.fill(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// fill reads more bytes from the socket into the buffer, growing (in
+// bounded chunks) or compacting when full. The idle wait — no bytes of
+// a next command buffered yet — is deadline-free; mid-command reads arm
+// ReadTimeout.
+func (c *Conn) fill() error {
+	if len(c.rbuf) == cap(c.rbuf) {
+		if c.rpos > 0 {
+			// Compact consumed bytes away. If pending zero-copy reply refs
+			// point into the buffer, shift into a fresh one instead of
+			// scribbling over their payloads.
+			if c.W.HasRefs() {
+				nb := make([]byte, len(c.rbuf)-c.rpos, cap(c.rbuf))
+				copy(nb, c.rbuf[c.rpos:])
+				c.rbuf = nb
+			} else {
+				n := copy(c.rbuf, c.rbuf[c.rpos:])
+				c.rbuf = c.rbuf[:n]
+			}
+			c.rpos = 0
+		} else {
+			c.rbuf = slices.Grow(c.rbuf, min(cap(c.rbuf)+1, readChunk))
+		}
+	}
+	if c.rpos == len(c.rbuf) {
+		// Idle: wait for the first byte of the next command unbounded.
+		c.nc.SetReadDeadline(time.Time{})
+		if c.aborted.Load() {
+			// Abort raced the deadline clear; re-expire so the Read below
+			// cannot park forever.
+			c.nc.SetReadDeadline(time.Now())
+		}
+	} else if c.ReadTimeout > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.ReadTimeout))
+	}
+	n, err := c.nc.Read(c.rbuf[len(c.rbuf):cap(c.rbuf)])
+	c.rbuf = c.rbuf[:len(c.rbuf)+n]
+	if err != nil {
+		if c.aborted.Load() {
+			return ErrAborted
+		}
+		if n > 0 {
+			// Bytes arrived with the error; parse them first. The next fill
+			// re-hits the error once the buffer is exhausted.
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// Flush pushes buffered replies to the socket under WriteTimeout, using
+// one vectored write when zero-copy bulk payloads are spliced in.
 func (c *Conn) Flush() error {
+	if c.W.Len() == 0 {
+		return nil
+	}
 	if c.WriteTimeout > 0 {
 		c.nc.SetWriteDeadline(time.Now().Add(c.WriteTimeout))
 	}
-	return c.w.Flush()
+	var err error
+	if c.W.HasRefs() {
+		c.vecs = c.W.Vectors(c.vecs[:0])
+		v := c.vecs
+		_, err = v.WriteTo(c.nc)
+		for i := range c.vecs {
+			c.vecs[i] = nil // do not retain flushed payloads
+		}
+	} else {
+		_, err = c.nc.Write(c.W.buf)
+	}
+	c.W.Reset()
+	return err
 }

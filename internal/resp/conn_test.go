@@ -2,6 +2,7 @@ package resp
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"net"
 	"testing"
@@ -38,6 +39,25 @@ func tcpPair(t *testing.T) (client net.Conn, server net.Conn) {
 	return client, a.c
 }
 
+func sendCommand(t *testing.T, c net.Conn, args ...string) {
+	t.Helper()
+	w := bufio.NewWriter(c)
+	if err := Write(w, Command(args...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func argStrings(req *Request) []string {
+	out := make([]string, len(req.Args))
+	for i, a := range req.Args {
+		out[i] = string(a)
+	}
+	return out
+}
+
 // TestAbortWakesIdleReader: Abort must interrupt a reader parked in the
 // unbounded idle wait — this is what lets Shutdown drain connections
 // that are not mid-command.
@@ -46,10 +66,10 @@ func TestAbortWakesIdleReader(t *testing.T) {
 	c := NewConn(server)
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.ReadCommand()
+		_, err := c.ReadRequest()
 		done <- err
 	}()
-	// Give the reader time to park in its idle Peek.
+	// Give the reader time to park in its idle wait.
 	time.Sleep(50 * time.Millisecond)
 	c.Abort()
 	select {
@@ -61,7 +81,7 @@ func TestAbortWakesIdleReader(t *testing.T) {
 		t.Fatal("Abort did not wake the idle reader")
 	}
 	// Later reads fail fast without touching the socket.
-	if _, err := c.ReadCommand(); !errors.Is(err, ErrAborted) {
+	if _, err := c.ReadRequest(); !errors.Is(err, ErrAborted) {
 		t.Fatalf("post-abort read error = %v, want ErrAborted", err)
 	}
 }
@@ -78,9 +98,9 @@ func TestReadTimeoutMidCommand(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	_, err := c.ReadCommand()
+	_, err := c.ReadRequest()
 	if err == nil {
-		t.Fatal("stalled mid-command read returned a value")
+		t.Fatal("stalled mid-command read returned a request")
 	}
 	var nerr net.Error
 	if !errors.As(err, &nerr) || !nerr.Timeout() {
@@ -99,27 +119,23 @@ func TestIdleWaitOutlivesReadTimeout(t *testing.T) {
 	c := NewConn(server)
 	c.ReadTimeout = 50 * time.Millisecond
 
-	got := make(chan Value, 1)
+	got := make(chan []string, 1)
 	fail := make(chan error, 1)
 	go func() {
-		v, err := c.ReadCommand()
+		req, err := c.ReadRequest()
 		if err != nil {
 			fail <- err
 			return
 		}
-		got <- v
+		got <- argStrings(req)
 	}()
 	// Stay idle for multiples of ReadTimeout before sending.
 	time.Sleep(250 * time.Millisecond)
-	w := bufio.NewWriter(client)
-	if err := Write(w, Command("PING")); err != nil {
-		t.Fatal(err)
-	}
-	w.Flush()
+	sendCommand(t, client, "PING")
 	select {
-	case v := <-got:
-		if len(v.Array) != 1 || v.Array[0].Str != "PING" {
-			t.Fatalf("command = %+v", v)
+	case args := <-got:
+		if len(args) != 1 || args[0] != "PING" {
+			t.Fatalf("command = %q", args)
 		}
 	case err := <-fail:
 		t.Fatalf("idle wait hit a deadline: %v", err)
@@ -128,26 +144,134 @@ func TestIdleWaitOutlivesReadTimeout(t *testing.T) {
 	}
 }
 
-// TestWriteValueAndFlushRoundTrip: replies written under WriteTimeout
-// reach the peer intact.
-func TestWriteValueAndFlushRoundTrip(t *testing.T) {
+// TestPipelinedRequestsOneRead: a burst of commands written as one
+// segment parses into consecutive requests without further socket
+// reads, and Buffered tracks the backlog — the server's flush signal.
+func TestPipelinedRequestsOneRead(t *testing.T) {
+	client, server := tcpPair(t)
+	c := NewConn(server)
+
+	var burst bytes.Buffer
+	w := bufio.NewWriter(&burst)
+	for _, args := range [][]string{{"PING"}, {"g.insert", "1", "2"}, {"g.query", "1", "2"}} {
+		if err := Write(w, Command(args...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if _, err := client.Write(burst.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	want := [][]string{{"PING"}, {"g.insert", "1", "2"}, {"g.query", "1", "2"}}
+	for i, wargs := range want {
+		req, err := c.ReadRequest()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		got := argStrings(req)
+		if len(got) != len(wargs) {
+			t.Fatalf("request %d = %q, want %q", i, got, wargs)
+		}
+		for j := range wargs {
+			if got[j] != wargs[j] {
+				t.Fatalf("request %d = %q, want %q", i, got, wargs)
+			}
+		}
+		if i < len(want)-1 && c.Buffered() == 0 {
+			t.Fatalf("request %d: backlog not visible in Buffered", i)
+		}
+	}
+	if c.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after burst drained", c.Buffered())
+	}
+}
+
+// TestReadBufferShrinksAfterLargeCommand is the grow-then-shrink pin: a
+// one-off huge command grows the read buffer to hold it, but once the
+// input drains the retained capacity drops back — a single 1MB G.MINSERT
+// must not pin megabytes for the connection's lifetime.
+func TestReadBufferShrinksAfterLargeCommand(t *testing.T) {
+	client, server := tcpPair(t)
+	c := NewConn(server)
+
+	big := string(bytes.Repeat([]byte("x"), 1<<20))
+	done := make(chan error, 1)
+	go func() {
+		req, err := c.ReadRequest()
+		if err == nil && (len(req.Args) != 2 || len(req.Args[1]) != 1<<20) {
+			err = errors.New("big command parsed wrong")
+		}
+		done <- err
+	}()
+	sendCommand(t, client, "set", big)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if cap(c.rbuf) < 1<<20 {
+		t.Fatalf("read buffer did not grow for the large command (cap=%d)", cap(c.rbuf))
+	}
+
+	// The next command recycles the drained buffer and sheds the
+	// inflated capacity.
+	go func() {
+		_, err := c.ReadRequest()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	sendCommand(t, client, "PING")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if cap(c.rbuf) > retainedReadBytes {
+		t.Fatalf("read buffer retained cap=%d after drain, want <= %d", cap(c.rbuf), retainedReadBytes)
+	}
+}
+
+// TestProtocolErrorSurfaces: bytes that can never become a valid
+// command surface as ErrProtocol so the server can answer before
+// dropping the connection.
+func TestProtocolErrorSurfaces(t *testing.T) {
+	client, server := tcpPair(t)
+	c := NewConn(server)
+	if _, err := client.Write([]byte("!garbage\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.ReadRequest()
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("garbage read error = %v, want ErrProtocol", err)
+	}
+}
+
+// TestFlushRoundTrip: replies streamed through the Writer reach the
+// peer intact under WriteTimeout, including a vectored flush with a
+// zero-copy bulk payload spliced between buffered replies.
+func TestFlushRoundTrip(t *testing.T) {
 	client, server := tcpPair(t)
 	c := NewConn(server)
 	c.WriteTimeout = time.Second
 
-	if err := c.WriteValue(Simple("PONG")); err != nil {
-		t.Fatal(err)
+	payload := bytes.Repeat([]byte("p"), zeroCopyBulk+100)
+	c.W.AppendSimple("PONG")
+	c.W.AppendBulk(payload)
+	c.W.AppendInt(7)
+	if !c.W.HasRefs() {
+		t.Fatal("large bulk was copied, want zero-copy ref")
 	}
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
+
 	client.SetReadDeadline(time.Now().Add(time.Second))
-	v, err := Read(bufio.NewReader(client))
-	if err != nil {
-		t.Fatal(err)
+	r := bufio.NewReader(client)
+	if v, err := Read(r); err != nil || v.Str != "PONG" {
+		t.Fatalf("reply 1 = %+v, %v", v, err)
 	}
-	if v.Str != "PONG" {
-		t.Fatalf("round trip = %+v", v)
+	if v, err := Read(r); err != nil || v.Str != string(payload) {
+		t.Fatalf("reply 2: err=%v, len=%d", err, len(v.Str))
+	}
+	if v, err := Read(r); err != nil || v.Int != 7 {
+		t.Fatalf("reply 3 = %+v, %v", v, err)
 	}
 }
 
@@ -170,17 +294,14 @@ func TestWriteTimeoutOnStalledPeer(t *testing.T) {
 
 	// The client never reads; keep writing until the buffers fill and
 	// the deadline fires.
-	payload := Bulk(string(make([]byte, 32<<10)))
+	payload := make([]byte, 32<<10)
 	deadline := time.Now().Add(10 * time.Second)
 	var stallErr error
 	for stallErr == nil {
 		if time.Now().After(deadline) {
 			t.Skip("kernel buffered >10s of writes; environment too generous for this test")
 		}
-		if err := c.WriteValue(payload); err != nil {
-			stallErr = err
-			break
-		}
+		c.W.AppendBulk(payload)
 		stallErr = c.Flush()
 	}
 	var nerr net.Error

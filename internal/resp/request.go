@@ -1,0 +1,111 @@
+package resp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Request is one decoded client command: the command name followed by
+// its arguments as byte-slice views into the connection's read buffer.
+// The views are valid until the next ReadRequest on the same Conn — the
+// handler's lifetime — so the hot path never copies argument bytes.
+type Request struct {
+	Args [][]byte
+}
+
+// errIncomplete reports that the buffer holds only a prefix of a valid
+// command; the caller must read more bytes and retry.
+var errIncomplete = errors.New("resp: incomplete request")
+
+// parseRequest decodes one multibulk client command ("*N\r\n" followed
+// by N bulk strings) from data, appending argument views into args. It
+// returns the args, the bytes consumed, and an error: errIncomplete
+// when data is a prefix of a valid command, an ErrProtocol-wrapped
+// error when the bytes can never become one. Clients must frame
+// commands as multibulk — inline commands are not accepted.
+func parseRequest(data []byte, args [][]byte) ([][]byte, int, error) {
+	if len(data) == 0 {
+		return args, 0, errIncomplete
+	}
+	if data[0] != '*' {
+		return args, 0, fmt.Errorf("%w: expected '*' to begin a command, got %q", ErrProtocol, data[0])
+	}
+	n, pos, err := parseLineLen(data, 1)
+	if err != nil {
+		return args, 0, err
+	}
+	if n < 0 || n > MaxArrayLen {
+		return args, 0, fmt.Errorf("%w: bad command array length %d", ErrProtocol, n)
+	}
+	for i := 0; i < n; i++ {
+		if pos >= len(data) {
+			return args, 0, errIncomplete
+		}
+		if data[pos] != '$' {
+			return args, 0, fmt.Errorf("%w: expected bulk string in command array, got %q", ErrProtocol, data[pos])
+		}
+		l, next, err := parseLineLen(data, pos+1)
+		if err != nil {
+			return args, 0, err
+		}
+		if l < 0 || l > MaxBulkBytes {
+			return args, 0, fmt.Errorf("%w: bad bulk length %d", ErrProtocol, l)
+		}
+		if next+l+2 > len(data) {
+			return args, 0, errIncomplete
+		}
+		if data[next+l] != '\r' || data[next+l+1] != '\n' {
+			return args, 0, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProtocol)
+		}
+		args = append(args, data[next:next+l])
+		pos = next + l + 2
+	}
+	return args, pos, nil
+}
+
+// parseLineLen decodes a decimal length terminated by CRLF starting at
+// data[pos], returning the value and the position past the CRLF. A
+// missing terminator within MaxLineBytes is errIncomplete; anything
+// else is a protocol error.
+func parseLineLen(data []byte, pos int) (int, int, error) {
+	n, i, digits := 0, pos, 0
+	neg := false
+	if i < len(data) && data[i] == '-' {
+		neg = true
+		i++
+	}
+	for ; i < len(data); i++ {
+		c := data[i]
+		if c == '\r' {
+			if digits == 0 {
+				return 0, 0, fmt.Errorf("%w: empty length line", ErrProtocol)
+			}
+			if i+1 >= len(data) {
+				return 0, 0, errIncomplete
+			}
+			if data[i+1] != '\n' {
+				return 0, 0, fmt.Errorf("%w: length line not CRLF-terminated", ErrProtocol)
+			}
+			if neg {
+				n = -n
+			}
+			return n, i + 2, nil
+		}
+		if c < '0' || c > '9' {
+			return 0, 0, fmt.Errorf("%w: bad length byte %q", ErrProtocol, c)
+		}
+		if i-pos > MaxLineBytes {
+			return 0, 0, fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineBytes)
+		}
+		// Saturate instead of overflowing: the value is range-checked by
+		// the caller and anything past an int is over every limit anyway.
+		if n < 1<<40 {
+			n = n*10 + int(c-'0')
+		}
+		digits++
+	}
+	if i-pos > MaxLineBytes {
+		return 0, 0, fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineBytes)
+	}
+	return 0, 0, errIncomplete
+}

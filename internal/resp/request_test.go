@@ -1,0 +1,131 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestParseRequestWholeCommand(t *testing.T) {
+	data := []byte("*3\r\n$8\r\ng.insert\r\n$1\r\n1\r\n$2\r\n42\r\n")
+	args, n, err := parseRequest(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) {
+		t.Fatalf("consumed %d, want %d", n, len(data))
+	}
+	want := []string{"g.insert", "1", "42"}
+	if len(args) != len(want) {
+		t.Fatalf("args = %d, want %d", len(args), len(want))
+	}
+	for i := range want {
+		if string(args[i]) != want[i] {
+			t.Fatalf("arg %d = %q, want %q", i, args[i], want[i])
+		}
+	}
+}
+
+// TestParseRequestEveryPrefixIncomplete: truncating a valid command at
+// any byte must report errIncomplete, never a protocol error or a
+// short parse — the invariant the read loop's fill/retry depends on.
+func TestParseRequestEveryPrefixIncomplete(t *testing.T) {
+	data := []byte("*2\r\n$4\r\nPING\r\n$0\r\n\r\n")
+	for i := 0; i < len(data); i++ {
+		_, _, err := parseRequest(data[:i], nil)
+		if !errors.Is(err, errIncomplete) {
+			t.Fatalf("prefix of %d bytes: err = %v, want errIncomplete", i, err)
+		}
+	}
+	if _, n, err := parseRequest(data, nil); err != nil || n != len(data) {
+		t.Fatalf("full parse: n=%d err=%v", n, err)
+	}
+}
+
+// TestParseRequestPipelined: consecutive commands in one buffer parse
+// one at a time, each consuming exactly its own bytes.
+func TestParseRequestPipelined(t *testing.T) {
+	data := []byte("*1\r\n$4\r\nPING\r\n*2\r\n$3\r\nget\r\n$1\r\nk\r\n")
+	args, n, err := parseRequest(data, nil)
+	if err != nil || len(args) != 1 || string(args[0]) != "PING" {
+		t.Fatalf("first: args=%q n=%d err=%v", args, n, err)
+	}
+	args2, n2, err := parseRequest(data[n:], args[:0])
+	if err != nil || len(args2) != 2 || string(args2[0]) != "get" || string(args2[1]) != "k" {
+		t.Fatalf("second: args=%q err=%v", args2, err)
+	}
+	if n+n2 != len(data) {
+		t.Fatalf("consumed %d+%d, want %d", n, n2, len(data))
+	}
+}
+
+func TestParseRequestRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"inline-command":  []byte("PING\r\n"),
+		"wrong-type":      []byte("!x\r\n"),
+		"negative-count":  []byte("*-1\r\n"),
+		"huge-count":      []byte("*2147483647\r\n"),
+		"non-bulk-elem":   []byte("*1\r\n:5\r\n"),
+		"null-bulk-arg":   []byte("*1\r\n$-1\r\n"),
+		"huge-bulk":       []byte("*1\r\n$2147483647\r\n"),
+		"bulk-bad-crlf":   []byte("*1\r\n$4\r\nPINGXY"),
+		"bad-count-bytes": []byte("*1x\r\n"),
+		"bare-lf":         []byte("*1\n$4\r\nPING\r\n"),
+	}
+	for name, data := range cases {
+		_, _, err := parseRequest(data, nil)
+		if !errors.Is(err, ErrProtocol) {
+			t.Fatalf("%s: err = %v, want ErrProtocol", name, err)
+		}
+	}
+}
+
+// TestParseRequestEmptyArray: "*0" is syntactically valid and consumed;
+// the dispatch layer answers it, the parser does not reject it.
+func TestParseRequestEmptyArray(t *testing.T) {
+	args, n, err := parseRequest([]byte("*0\r\n"), nil)
+	if err != nil || n != 4 || len(args) != 0 {
+		t.Fatalf("args=%q n=%d err=%v", args, n, err)
+	}
+}
+
+// TestParseRequestEndlessLine: a length line streaming digits without a
+// terminator is rejected once past MaxLineBytes, not buffered forever.
+func TestParseRequestEndlessLine(t *testing.T) {
+	data := append([]byte("*"), bytes.Repeat([]byte("1"), MaxLineBytes+16)...)
+	_, _, err := parseRequest(data, nil)
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("endless line err = %v, want ErrProtocol", err)
+	}
+}
+
+// FuzzParseRequest throws arbitrary bytes at the zero-copy request
+// parser — the server's first contact with untrusted input. Properties:
+// no panics, consumed never exceeds the input, errIncomplete only ever
+// grows into a parse or a protocol error (never flips back), and an
+// accepted parse agrees with the reference Value parser.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("*3\r\n$8\r\ng.insert\r\n$1\r\n1\r\n$1\r\n2\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*0\r\n"))
+	f.Add([]byte("PING\r\n"))
+	f.Add([]byte("*2147483647\r\n"))
+	f.Add([]byte("$4\r\nPING\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		args, n, err := parseRequest(data, nil)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error with %d bytes consumed", n)
+			}
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		for _, a := range args {
+			if len(a) > MaxBulkBytes {
+				t.Fatalf("arg of %d bytes accepted", len(a))
+			}
+		}
+	})
+}

@@ -1,6 +1,17 @@
 // Package resp implements the Redis Serialization Protocol (RESP2) wire
 // format: the encoding spoken by the redislike server and client used
 // for the paper's Redis integration experiment (§V-F).
+//
+// The package has two encoding surfaces. The boxed Value tree with
+// Read/Write is the general-purpose side: the client, fuzz corpus and
+// cold introspection replies (COMMAND, G.INFO) build and decode whole
+// values. The serving plane instead uses the streaming side — Writer
+// appends replies directly into a reusable per-connection buffer
+// (AppendInt, AppendBulk, ...), Conn parses pipelined requests into
+// byte-slice views of its read buffer, and Flush writes the
+// accumulated replies with one write(2) (or a vectored writev when
+// large bulk payloads are referenced zero-copy) — so a warm command
+// cycle allocates nothing.
 package resp
 
 import (

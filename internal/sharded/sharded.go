@@ -71,10 +71,14 @@ type shard struct {
 	// bursts of consecutive same-source ops that real edge streams
 	// produce skip the per-view overlay probes after the first op.
 	// All three are guarded by mu held for writing.
+	//
+	// one is the single-op scratch the edge-at-a-time methods apply
+	// through (under mu held for writing; see applyOne).
 	viewGen uint64
 	cowU    uint64
 	cowGen  uint64
-	_       [128 - 24 - 8 - 24 - 24]byte
+	one     [1]core.Op
+	_       [128 - 24 - 8 - 24 - 24 - 24]byte
 }
 
 // Graph is a concurrency-safe CuckooGraph partitioned by source node.
@@ -237,6 +241,25 @@ func (g *Graph) shardOf(u uint64) *shard { return &g.shards[g.shardIndex(u)] }
 func (g *Graph) applyToShard(si int, part core.Batch) core.BatchResult {
 	sh := &g.shards[si]
 	sh.mu.Lock()
+	res := g.applyLocked(si, sh, part)
+	sh.mu.Unlock()
+	return res
+}
+
+// applyOne applies a single op through the shard's scratch slot, so the
+// single-edge methods need no per-call batch allocation: a stack-built
+// one-op slice would escape through the WAL logging path, but the
+// shard-owned slot (written only under the write lock) does not.
+func (g *Graph) applyOne(si int, op core.Op) core.BatchResult {
+	sh := &g.shards[si]
+	sh.mu.Lock()
+	sh.one[0] = op
+	res := g.applyLocked(si, sh, sh.one[:])
+	sh.mu.Unlock()
+	return res
+}
+
+func (g *Graph) applyLocked(si int, sh *shard, part core.Batch) core.BatchResult {
 	if len(sh.views) > 0 {
 		g.preserve(si, sh, part)
 	}
@@ -271,7 +294,6 @@ func (g *Graph) applyToShard(si int, part core.Batch) core.BatchResult {
 	if applied := res.Applied(); applied > 0 {
 		g.muts.Add(applied)
 	}
-	sh.mu.Unlock()
 	return res
 }
 
@@ -385,8 +407,7 @@ const minParallelPartition = 128
 // InsertEdge adds ⟨u,v⟩, reporting whether it is new. It is a size-1
 // batch over the shared mutation path.
 func (g *Graph) InsertEdge(u, v uint64) bool {
-	b := [1]core.Op{core.InsertOp(u, v)}
-	return g.applyToShard(g.shardIndex(u), b[:]).Inserted == 1
+	return g.applyOne(g.shardIndex(u), core.InsertOp(u, v)).Inserted == 1
 }
 
 // HasEdge reports whether ⟨u,v⟩ is stored.
@@ -401,8 +422,7 @@ func (g *Graph) HasEdge(u, v uint64) bool {
 // DeleteEdge removes ⟨u,v⟩, reporting whether it existed. It is a
 // size-1 batch over the shared mutation path.
 func (g *Graph) DeleteEdge(u, v uint64) bool {
-	b := [1]core.Op{core.DeleteOp(u, v)}
-	return g.applyToShard(g.shardIndex(u), b[:]).Deleted == 1
+	return g.applyOne(g.shardIndex(u), core.DeleteOp(u, v)).Deleted == 1
 }
 
 // ForEachSuccessor calls fn for each successor of u until fn returns
@@ -426,15 +446,40 @@ func (g *Graph) ForEachSuccessor(u uint64, fn func(v uint64) bool) {
 
 // Successors returns u's successors as a fresh slice.
 func (g *Graph) Successors(u uint64) []uint64 {
+	return g.AppendSuccessors(u, nil)
+}
+
+// AppendSuccessors appends u's successors to dst and returns the
+// extended slice, copying under the shard read lock. Callers that
+// reuse dst across calls get an allocation-free scan once the scratch
+// has grown to the working set — the serving plane's neighbor reads
+// lean on this.
+func (g *Graph) AppendSuccessors(u uint64, dst []uint64) []uint64 {
 	sh := g.shardOf(u)
 	sh.mu.RLock()
-	var succ []uint64
 	sh.g.ForEachSuccessor(u, func(v uint64) bool {
-		succ = append(succ, v)
+		dst = append(dst, v)
 		return true
 	})
 	sh.mu.RUnlock()
-	return succ
+	return dst
+}
+
+// AppendNodes appends every node with at least one out-edge to dst and
+// returns the extended slice, copying each shard's node set under its
+// read lock. Like AppendSuccessors, reusing dst amortizes the scan to
+// zero allocations.
+func (g *Graph) AppendNodes(dst []uint64) []uint64 {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		sh.g.ForEachNode(func(u uint64) bool {
+			dst = append(dst, u)
+			return true
+		})
+		sh.mu.RUnlock()
+	}
+	return dst
 }
 
 // Degree returns u's out-degree. It reads the owning engine's

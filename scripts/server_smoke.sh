@@ -26,7 +26,7 @@ cli() { "$work/cgcli" -addr "$addr" "$@"; }
 
 start_server() {
   "$work/cgserver" -addr "$addr" -wal-dir "$waldir" -wal-sync always \
-    -metrics-addr "$maddr" -max-conns 64 \
+    -metrics-addr "$maddr" -pprof -max-conns 64 \
     -read-timeout 10s -write-timeout 10s -shutdown-timeout 10s \
     -log-level debug >>"$log" 2>&1 &
   srv_pid=$!
@@ -62,6 +62,9 @@ echo "$metrics" | grep -q 'cg_graph_edges 3' || fail "missing engine gauge (cg_g
 echo "$metrics" | grep -q 'cg_wal_enabled 1' || fail "missing wal gauge"
 echo "$metrics" | grep -q 'cg_wal_ops_total 3' || fail "wal ops counter != 3"
 curl -fsS "http://$maddr/healthz" | grep -q ok || fail "healthz"
+
+echo "== pprof on the metrics listener"
+curl -fsS "http://$maddr/debug/pprof/cmdline" | tr '\0' ' ' | grep -q "cgserver" || fail "pprof cmdline"
 
 echo "== graceful shutdown on SIGTERM"
 kill -TERM "$srv_pid"
