@@ -35,6 +35,16 @@
 //	cgcli g.snapshot            → 7
 //	cgcli graph.bfs 1 7         # BFS over the graph as of epoch 7
 //	cgcli g.release 7
+//
+// With -replica-of the server is a read replica: it bootstraps from the
+// leader's checkpoint snapshot, follows its write-ahead log over the
+// g.replicate stream, serves reads, and answers writes with -READONLY.
+// The replica keeps no log of its own, so -wal-dir does not combine
+// with -replica-of; on a lost link it reconnects and resumes from its
+// last applied position. See internal/redislike/repl.go for the wire
+// protocol and README.md § Replication for the consistency contract:
+//
+//	cgserver -addr 127.0.0.1:6381 -replica-of 127.0.0.1:6380
 package main
 
 import (
@@ -60,6 +70,7 @@ func run() int {
 	walDir := flag.String("wal-dir", "", "durability directory (write-ahead log + checkpoints); empty disables")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), nosync (page cache), async (background writes)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval, e.g. 5m (0 disables; requires -wal-dir)")
+	replicaOf := flag.String("replica-of", "", "leader host:port to replicate from; the server becomes a read-only follower (conflicts with -wal-dir)")
 	snapshotRing := flag.Int("snapshot-ring", redislike.DefaultSnapshotRing,
 		"how many g.snapshot epochs are retained for time-travel reads; the oldest is released past the bound")
 	metricsAddr := flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics and /healthz; empty disables")
@@ -90,6 +101,21 @@ func run() int {
 		return 1
 	}
 	gm.SetSnapshotRing(*snapshotRing)
+
+	if *replicaOf != "" {
+		// A replica's durability is the leader's log; local logging or
+		// checkpointing would fork the history the stream replays onto.
+		if *walDir != "" {
+			logger.Error("-replica-of conflicts with -wal-dir (replicas follow the leader's log; they keep none of their own)")
+			return 2
+		}
+		if *checkpointEvery > 0 {
+			logger.Error("-replica-of conflicts with -checkpoint-every (checkpoints belong to the leader)")
+			return 2
+		}
+		repl := redislike.StartReplica(gm, srv, *replicaOf)
+		logger.Info("replica mode", "leader", repl.Leader())
+	}
 
 	if *walDir != "" {
 		sync, err := wal.ParseSyncPolicy(*walSync)

@@ -96,6 +96,17 @@
 // per-edge store probes — an order of magnitude faster on traversal-
 // heavy passes. The index is freed with the view's last Release.
 //
+// # Durability and replication
+//
+// internal/wal makes the sharded engine durable: a segmented,
+// CRC-framed write-ahead log with group commit, checkpoint snapshots
+// and crash recovery. The same log doubles as a replication stream —
+// wal.Reader tails durable frames, retention Pins keep compaction
+// behind connected followers, and internal/redislike ships the log to
+// read replicas over RESP (g.replicate / g.replack; cgserver
+// -replica-of). See README.md § Replication for the consistency
+// contract.
+//
 // The internal packages also contain from-scratch implementations of the
 // paper's baselines (LiveGraph, Sortledton, Wind-Bell Index, Spruce,
 // adjacency list, PCSR), the graph analytics suite (BFS, SSSP, TC, CC,

@@ -13,7 +13,7 @@ import (
 // drift out of sync.
 
 // infoSections is the section order of the full G.INFO reply.
-var infoSections = []string{"server", "commands", "graph", "snapshots", "wal"}
+var infoSections = []string{"server", "commands", "graph", "snapshots", "wal", "replication"}
 
 // info is G.INFO [section]: Redis INFO-shaped key:value text, whole or
 // one section at a time.
@@ -53,6 +53,8 @@ func (gm *GraphModule) info(ctx *Ctx) error {
 			gm.infoSnapshots(&b)
 		case "wal":
 			gm.infoWAL(&b)
+		case "replication":
+			gm.infoReplication(ctx, &b)
 		}
 	}
 	ctx.ReplyBulkString(b.String())
@@ -145,6 +147,40 @@ func (gm *GraphModule) infoWAL(b *strings.Builder) {
 	fmt.Fprintf(b, "failed:%d\n", b2i(st.Failed))
 }
 
+func (gm *GraphModule) infoReplication(ctx *Ctx, b *strings.Builder) {
+	if r := gm.replica.Load(); r != nil {
+		fmt.Fprintf(b, "role:replica\n")
+		fmt.Fprintf(b, "leader:%s\n", r.Leader())
+		fmt.Fprintf(b, "state:%s\n", replicaStateName(r.state.Load()))
+		fmt.Fprintf(b, "applied_segment:%d\n", r.posSeg.Load())
+		fmt.Fprintf(b, "applied_offset:%d\n", r.posOff.Load())
+		fmt.Fprintf(b, "leader_segment:%d\n", r.leaderSeg.Load())
+		fmt.Fprintf(b, "leader_offset:%d\n", r.leaderOff.Load())
+		fmt.Fprintf(b, "bytes_received:%d\n", r.bytes.Load())
+		fmt.Fprintf(b, "frames_applied:%d\n", r.frames.Load())
+		fmt.Fprintf(b, "ops_applied:%d\n", r.ops.Load())
+		fmt.Fprintf(b, "snapshots_installed:%d\n", r.snapshots.Load())
+		fmt.Fprintf(b, "reconnects:%d\n", r.reconnects.Load())
+		if s := ctx.Server(); s != nil {
+			fmt.Fprintf(b, "read_only:%d\n", b2i(s.ReadOnly()))
+		}
+		return
+	}
+	fmt.Fprintf(b, "role:leader\n")
+	links := gm.replLinks()
+	fmt.Fprintf(b, "connected_replicas:%d\n", len(links))
+	if w := gm.walPtr.Load(); w != nil {
+		if floor, held := w.RetentionFloor(); held {
+			fmt.Fprintf(b, "retention_floor_segment:%d\n", floor)
+		}
+	}
+	for i, l := range links {
+		fmt.Fprintf(b, "replica%d:addr=%s,ack_segment=%d,ack_offset=%d,sent_segment=%d,sent_offset=%d,sent_bytes=%d,snapshots=%d,age_seconds=%d\n",
+			i, l.addr, l.ackSeg.Load(), l.ackOff.Load(), l.sentSeg.Load(), l.sentOff.Load(),
+			l.sentBytes.Load(), l.snapshots.Load(), int64(time.Since(l.since).Seconds()))
+	}
+}
+
 func b2i(v bool) int {
 	if v {
 		return 1
@@ -180,18 +216,50 @@ func (gm *GraphModule) collectMetrics(mw *MetricsWriter) {
 	w := gm.walPtr.Load()
 	if w == nil {
 		mw.Gauge("cg_wal_enabled", "1 while a write-ahead log is attached.", 0)
+	} else {
+		// The mirror is cleared before CloseWAL closes the WAL, but a
+		// scrape can still hold a pointer loaded just before the store;
+		// Stats on a closed WAL is well-defined (final counters), so
+		// either interleaving reports consistently.
+		ws := w.Stats()
+		mw.Gauge("cg_wal_enabled", "1 while a write-ahead log is attached.", 1)
+		mw.Counter("cg_wal_appends_total", "Acknowledged append calls.", float64(ws.Appends))
+		mw.Counter("cg_wal_records_total", "Framed records written or queued.", float64(ws.Records))
+		mw.Counter("cg_wal_ops_total", "Edge mutations logged.", float64(ws.Ops))
+		mw.Counter("cg_wal_bytes_total", "Frame bytes handed to write(2).", float64(ws.Bytes))
+		mw.Counter("cg_wal_group_commits_total", "Group commits (write(2) batches).", float64(ws.GroupCommits))
+		mw.Counter("cg_wal_syncs_total", "fsyncs of segment data.", float64(ws.Syncs))
+		mw.Counter("cg_wal_rotations_total", "Segment rotations.", float64(ws.Rotations))
+		mw.Gauge("cg_wal_segment", "Segment currently appended to.", float64(ws.Segment))
+		mw.Gauge("cg_wal_pending_bytes", "Queued frame bytes not yet written.", float64(ws.PendingBytes))
+		mw.Gauge("cg_wal_failed", "1 once the WAL's sticky error is set.", boolGauge(ws.Failed))
+	}
+
+	if r := gm.replica.Load(); r != nil {
+		mw.Gauge("cg_repl_role", "0 on a leader, 1 on a replica.", 1)
+		mw.Gauge("cg_repl_replica_streaming", "1 while the replication link is live.", boolGauge(r.state.Load() == replicaStreaming))
+		mw.Gauge("cg_repl_replica_segment", "Last applied log segment.", float64(r.posSeg.Load()))
+		mw.Gauge("cg_repl_replica_offset", "Last applied offset within the segment.", float64(r.posOff.Load()))
+		mw.Counter("cg_repl_replica_bytes_total", "Replication payload bytes applied.", float64(r.bytes.Load()))
+		mw.Counter("cg_repl_replica_frames_total", "Replication frame chunks applied.", float64(r.frames.Load()))
+		mw.Counter("cg_repl_replica_ops_total", "Edge mutations applied from the stream.", float64(r.ops.Load()))
+		mw.Counter("cg_repl_replica_snapshots_total", "Bootstrap snapshots installed.", float64(r.snapshots.Load()))
+		mw.Counter("cg_repl_replica_reconnects_total", "Replication link losses.", float64(r.reconnects.Load()))
 		return
 	}
-	ws := w.Stats()
-	mw.Gauge("cg_wal_enabled", "1 while a write-ahead log is attached.", 1)
-	mw.Counter("cg_wal_appends_total", "Acknowledged append calls.", float64(ws.Appends))
-	mw.Counter("cg_wal_records_total", "Framed records written or queued.", float64(ws.Records))
-	mw.Counter("cg_wal_ops_total", "Edge mutations logged.", float64(ws.Ops))
-	mw.Counter("cg_wal_bytes_total", "Frame bytes handed to write(2).", float64(ws.Bytes))
-	mw.Counter("cg_wal_group_commits_total", "Group commits (write(2) batches).", float64(ws.GroupCommits))
-	mw.Counter("cg_wal_syncs_total", "fsyncs of segment data.", float64(ws.Syncs))
-	mw.Counter("cg_wal_rotations_total", "Segment rotations.", float64(ws.Rotations))
-	mw.Gauge("cg_wal_segment", "Segment currently appended to.", float64(ws.Segment))
-	mw.Gauge("cg_wal_pending_bytes", "Queued frame bytes not yet written.", float64(ws.PendingBytes))
-	mw.Gauge("cg_wal_failed", "1 once the WAL's sticky error is set.", boolGauge(ws.Failed))
+	mw.Gauge("cg_repl_role", "0 on a leader, 1 on a replica.", 0)
+	links := gm.replLinks()
+	mw.Gauge("cg_repl_connected_replicas", "Followers currently streaming.", float64(len(links)))
+	var sent, snaps uint64
+	for _, l := range links {
+		sent += l.sentBytes.Load()
+		snaps += l.snapshots.Load()
+	}
+	mw.Gauge("cg_repl_sent_bytes", "Payload bytes sent to currently connected followers.", float64(sent))
+	mw.Gauge("cg_repl_sent_snapshots", "Bootstrap snapshots pushed to currently connected followers.", float64(snaps))
+	if w != nil {
+		if floor, held := w.RetentionFloor(); held {
+			mw.Gauge("cg_repl_retention_floor_segment", "Lowest segment pinned by a connected follower.", float64(floor))
+		}
+	}
 }

@@ -102,9 +102,14 @@ func (gm *GraphModule) CloseWAL() error {
 		return nil
 	}
 	gm.Graph().SetWAL(nil)
+	// Clear the lock-free mirror BEFORE closing: a /metrics or G.INFO
+	// scrape that loads the pointer must never observe a WAL that Close
+	// is tearing down. (Stats on a closed WAL is also well-defined —
+	// counters are final and Closed is set — so a scrape that loaded
+	// the pointer just before this store stays safe too.)
+	gm.walPtr.Store(nil)
 	err := gm.wal.Close()
 	gm.wal = nil
-	gm.walPtr.Store(nil)
 	if err != nil {
 		gm.log.Error("wal close failed", "err", err)
 	} else {

@@ -36,6 +36,12 @@ type Ctx struct {
 	srv *Server
 	w   *resp.Writer
 
+	// rc is the originating resp connection, nil for in-process
+	// dispatch; hijacked marks that the handler took the connection
+	// over (see Hijack) and the serve loop must not touch it again.
+	rc       *resp.Conn
+	hijacked bool
+
 	// Per-connection scratch, reused across commands:
 	nameBuf []byte     // lowercased command name
 	batch   core.Batch // decoded G.MINSERT/G.MDEL pairs
@@ -44,6 +50,19 @@ type Ctx struct {
 
 // Server returns the server dispatching the command.
 func (c *Ctx) Server() *Server { return c.srv }
+
+// Hijack hands the raw connection to the handler for the rest of its
+// life — the replication stream's entry point. It returns nil for
+// in-process dispatch. After Hijack the serve loop neither reads nor
+// writes the connection again: the handler owns both directions and
+// the connection closes when the handler returns.
+func (c *Ctx) Hijack() *resp.Conn {
+	if c.rc == nil {
+		return nil
+	}
+	c.hijacked = true
+	return c.rc
+}
 
 // Arg returns argument i as a byte view (see Args for its lifetime).
 func (c *Ctx) Arg(i int) []byte { return c.Args[i] }

@@ -24,6 +24,7 @@ const (
 	ClassLoading    = "LOADING"    // write rejected while recovery rebuilds the graph
 	ClassMaxClients = "MAXCLIENTS" // connection admission rejected
 	ClassShutdown   = "SHUTDOWN"   // server is draining
+	ClassReadOnly   = "READONLY"   // write rejected on a replica
 )
 
 // ArityError reports a call violating the command's registered arity.
@@ -91,13 +92,27 @@ type ShutdownError struct{}
 
 func (e *ShutdownError) Error() string { return "server is shutting down" }
 
+// ReadOnlyError rejects a write-flagged command on a replica. Replicas
+// apply leader mutations through the replication stream, never through
+// client dispatch, so every client write is rejected — matching the
+// Redis "-READONLY You can't write against a read only replica" shape
+// clients already know how to handle.
+type ReadOnlyError struct {
+	Cmd string
+}
+
+func (e *ReadOnlyError) Error() string {
+	return fmt.Sprintf("cannot execute '%s' against a read-only replica; send writes to the leader", e.Cmd)
+}
+
 // errorClass maps a handler error onto its RESP class.
 func errorClass(err error) string {
 	var (
-		walErr  *WALError
-		loading *LoadingError
-		maxc    *MaxClientsError
-		down    *ShutdownError
+		walErr   *WALError
+		loading  *LoadingError
+		maxc     *MaxClientsError
+		down     *ShutdownError
+		readonly *ReadOnlyError
 	)
 	switch {
 	case errors.As(err, &walErr):
@@ -108,6 +123,8 @@ func errorClass(err error) string {
 		return ClassMaxClients
 	case errors.As(err, &down):
 		return ClassShutdown
+	case errors.As(err, &readonly):
+		return ClassReadOnly
 	}
 	return ClassErr
 }

@@ -58,6 +58,15 @@ type GraphModule struct {
 		muts uint64
 	}
 
+	// Replication state. links is the leader side: one entry per
+	// connected follower's replication stream, each holding a WAL
+	// retention pin at its acked segment. replica is the follower side:
+	// non-nil when this process was started with -replica-of and is
+	// pulling the leader's log.
+	replMu  sync.Mutex
+	links   map[*replLink]struct{}
+	replica atomic.Pointer[Replica]
+
 	// viewMu guards the time-travel ring: a bounded, oldest-first list
 	// of retained snapshot views. g.snapshot appends (releasing the
 	// oldest past viewCap), g.release drops one, and the epoch-tagged
@@ -157,6 +166,12 @@ func (gm *GraphModule) moduleCommands() []*Command {
 		{Name: "checkpoint", Arity: Exactly(0), Flags: FlagAdmin,
 			Summary: "snapshot the graph into the wal dir and truncate the log",
 			Handler: gm.checkpoint},
+		{Name: "g.replicate", Arity: Exactly(2), Flags: FlagAdmin,
+			Summary: "stream wal frames from <segment> <offset>; takes the connection over",
+			Handler: gm.replicate},
+		{Name: "g.replack", Arity: Exactly(2), Flags: FlagAdmin,
+			Summary: "acknowledge replication progress <segment> <offset> (stream-only)",
+			Handler: gm.replack},
 	}
 }
 
@@ -209,6 +224,11 @@ func (gm *GraphModule) dataCmd(h HandlerFunc) HandlerFunc {
 // cannot pin CoW state past process exit) and then close the WAL,
 // flushing everything pending. Both steps are idempotent.
 func (gm *GraphModule) Close() error {
+	// A follower stops pulling first so no apply can race the teardown
+	// below; Stop is idempotent against an explicit caller Stop.
+	if r := gm.replica.Load(); r != nil {
+		r.Stop()
+	}
 	gm.viewMu.Lock()
 	released := len(gm.views)
 	for _, e := range gm.views {
@@ -320,6 +340,18 @@ func (gm *GraphModule) loadRDB(data []byte) error {
 	}
 	gm.log.Info("rdb restored", "edges", g.NumEdges(), "nodes", g.NumNodes())
 	return nil
+}
+
+// installGraph wholesale-replaces the module's graph — the follower's
+// bootstrap step after decoding a leader snapshot. Like loadRDB it
+// swaps under the write lock and purges views frozen on the replaced
+// graph, but it never touches the WAL: a replica has none (its log is
+// the leader's).
+func (gm *GraphModule) installGraph(g *sharded.Graph) {
+	gm.swapMu.Lock()
+	gm.g = g
+	gm.swapMu.Unlock()
+	gm.releaseStaleViews()
 }
 
 // AOFRewrite emits the command stream that rebuilds the graph — the

@@ -102,7 +102,7 @@ func TestCommandIntrospection(t *testing.T) {
 	for _, v := range list.Array {
 		names[v.Str] = true
 	}
-	for _, want := range []string{"ping", "g.insert", "g.info", "wal_replay", "command"} {
+	for _, want := range []string{"ping", "g.insert", "g.info", "wal_replay", "command", "g.replicate", "g.replack"} {
 		if !names[want] {
 			t.Fatalf("COMMAND LIST missing %q (got %v)", want, names)
 		}
@@ -150,6 +150,7 @@ func TestInfoCommand(t *testing.T) {
 
 	full := dispatch("G.INFO")
 	for _, want := range []string{"# server", "# commands", "# graph", "# snapshots", "# wal",
+		"# replication", "role:leader", "connected_replicas:0",
 		"edges:2", "commands_registered:", "enabled:0", "cmdstat_g.insert:calls=2"} {
 		if !strings.Contains(full.Str, want) {
 			t.Fatalf("G.INFO missing %q in:\n%s", want, full.Str)

@@ -1,0 +1,304 @@
+package redislike
+
+// Leader-side replication: WAL shipping over the RESP connection.
+//
+// A follower sends `g.replicate <segment> <offset>` — its resume
+// position, or `0 0` to bootstrap — and the handler hijacks the
+// connection into a push stream. When the position is servable from
+// the retained log the leader streams raw CRC-framed WAL chunks; when
+// it is not (zero, compacted away, or diverged) the leader first
+// pushes a full checkpoint snapshot cut against a segment rotation,
+// then streams the log from the cut. Push frames, each a RESP array of
+// bulk strings:
+//
+//	["snap",   <cutSegment>, <snapshotBytes>]  resume at (cut, data start)
+//	["frames", <segment>, <offset>, <chunk>]   raw WAL frames at that position
+//	["ping",   <tailSegment>, <tailOffset>]    leader tail; keepalive when idle
+//
+// The follower acknowledges applied positions by writing
+// `g.replack <segment> <offset>` command arrays back on the same
+// connection; a dedicated goroutine reads them (on its own buffered
+// reader — the serving-plane Conn must not be shared across
+// goroutines) and advances the link's retention Pin, which is what
+// stops checkpoints from deleting any segment at or above a connected
+// follower's acked offset.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cuckoograph/internal/resp"
+	"cuckoograph/internal/wal"
+)
+
+// Push frame kinds.
+const (
+	replKindSnap   = "snap"
+	replKindFrames = "frames"
+	replKindPing   = "ping"
+)
+
+const (
+	// replPollInterval is how long a caught-up stream sleeps before
+	// re-checking the tail.
+	replPollInterval = 20 * time.Millisecond
+	// replPingEvery is the idle keepalive cadence; each ping also
+	// refreshes the follower's view of the leader tail (lag math).
+	replPingEvery = time.Second
+)
+
+// replLink is one connected follower on the leader. The stream
+// goroutine writes sent*, the ack goroutine writes ack*, and G.INFO /
+// metrics read everything — hence atomics.
+type replLink struct {
+	addr  string
+	since time.Time
+	pin   *wal.Pin
+
+	ackSeg    atomic.Uint64
+	ackOff    atomic.Uint64
+	sentSeg   atomic.Uint64
+	sentOff   atomic.Uint64
+	sentBytes atomic.Uint64
+	snapshots atomic.Uint64
+}
+
+// replack is only meaningful as traffic ON an established replication
+// stream, where the stream's ack goroutine consumes it; reaching
+// dispatch means it was sent on a plain connection.
+func (gm *GraphModule) replack(ctx *Ctx) error {
+	return &BadArgError{Cmd: ctx.Name, Detail: "only valid on a replication stream (see g.replicate)"}
+}
+
+// replicate validates the requested position and hands the connection
+// to the streaming goroutine. Errors before the hijack are ordinary
+// command errors; after it the connection belongs to the stream and
+// terminates with it.
+func (gm *GraphModule) replicate(ctx *Ctx) error {
+	seg, ok := parseUint64(ctx.Arg(0))
+	if !ok {
+		return &BadArgError{Cmd: ctx.Name, Detail: "bad segment " + strconv.Quote(string(ctx.Arg(0)))}
+	}
+	off, ok := parseUint64(ctx.Arg(1))
+	if !ok {
+		return &BadArgError{Cmd: ctx.Name, Detail: "bad offset " + strconv.Quote(string(ctx.Arg(1)))}
+	}
+	w := gm.walPtr.Load()
+	if w == nil {
+		return &WALError{Cmd: ctx.Name, Err: errors.New("replication requires an enabled wal (start the leader with -wal-dir)")}
+	}
+	rc := ctx.Hijack()
+	if rc == nil {
+		return &BadArgError{Cmd: ctx.Name, Detail: "replication requires a network connection"}
+	}
+	if rc.Buffered() > 0 {
+		// A replication stream owns the whole connection; pipelined
+		// bytes behind the command would be silently eaten. Hijacked is
+		// already set, so the serve loop drops the connection — exactly
+		// right for a protocol violation mid-stream setup.
+		gm.log.Warn("replication rejected: pipelined bytes after g.replicate", "remote", rc.RemoteAddr())
+		return nil
+	}
+	if err := rc.Flush(); err != nil {
+		return nil
+	}
+	gm.streamTo(ctx.Server(), rc, w, wal.Position{Seg: seg, Off: int64(off)})
+	return nil
+}
+
+// streamTo runs the push stream until the follower drops, the server
+// drains, or the log fails under it. It blocks the connection's serve
+// goroutine — that goroutine IS the stream.
+func (gm *GraphModule) streamTo(srv *Server, rc *resp.Conn, w *wal.WAL, pos wal.Position) {
+	nc := rc.NetConn()
+	link := &replLink{addr: rc.RemoteAddr(), since: time.Now(), pin: w.Pin(pos.Seg)}
+	link.ackSeg.Store(pos.Seg)
+	link.ackOff.Store(uint64(pos.Off))
+	gm.addLink(link)
+	defer gm.removeLink(link)
+	gm.log.Info("replica connected", "remote", link.addr, "segment", pos.Seg, "offset", pos.Off)
+	defer gm.log.Info("replica disconnected", "remote", link.addr)
+
+	// Ack reader: g.replack frames arrive on the same connection, read
+	// here on a private bufio.Reader (never rc — its serving-plane
+	// state is not goroutine-safe). Any read error or protocol
+	// violation ends the stream.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nc.SetReadDeadline(time.Time{}) // clear any armed command deadline
+		br := bufio.NewReader(nc)
+		for {
+			v, err := resp.Read(br)
+			if err != nil {
+				return
+			}
+			aseg, aoff, ok := parseReplack(v)
+			if !ok {
+				gm.log.Warn("replication stream: unexpected frame from follower", "remote", link.addr)
+				return
+			}
+			link.ackSeg.Store(aseg)
+			link.ackOff.Store(aoff)
+			link.pin.Move(aseg)
+		}
+	}()
+
+	var rw resp.Writer
+	var vecs net.Buffers
+	flush := func() error {
+		if srv.cfg.WriteTimeout > 0 {
+			nc.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout))
+		}
+		var err error
+		if rw.HasRefs() {
+			vecs = rw.Vectors(vecs[:0])
+			v := vecs
+			_, err = v.WriteTo(nc)
+			for i := range vecs {
+				vecs[i] = nil
+			}
+		} else {
+			_, err = nc.Write(rw.Bytes())
+		}
+		rw.Reset()
+		return err
+	}
+
+	rd, err := w.OpenReader(pos)
+	if errors.Is(err, wal.ErrCompacted) {
+		// Not servable incrementally: push a full snapshot cut against
+		// a rotation, then stream from the cut. The link's pin (which
+		// floors retention at the follower's old position, or 0 on
+		// bootstrap) is moved up only after the cut exists.
+		var buf bytes.Buffer
+		var cut uint64
+		g := gm.Graph()
+		if cerr := g.Checkpoint(&buf, func() error {
+			var rerr error
+			cut, rerr = w.Rotate()
+			return rerr
+		}); cerr != nil {
+			gm.log.Error("replication snapshot failed", "remote", link.addr, "err", cerr)
+			return
+		}
+		pos = wal.Position{Seg: cut, Off: wal.SegmentDataStart}
+		link.pin.Move(cut)
+		link.ackSeg.Store(cut)
+		link.ackOff.Store(uint64(pos.Off))
+		link.snapshots.Add(1)
+		rw.AppendArrayHeader(3)
+		rw.AppendBulkString(replKindSnap)
+		rw.AppendBulkUint(cut)
+		rw.AppendBulk(buf.Bytes())
+		if err := flush(); err != nil {
+			return
+		}
+		link.sentBytes.Add(uint64(buf.Len()))
+		gm.log.Info("replication snapshot pushed", "remote", link.addr, "bytes", buf.Len(), "cut_segment", cut)
+		rd, err = w.OpenReader(pos)
+	}
+	if err != nil {
+		gm.log.Error("replication stream failed to open log", "remote", link.addr, "err", err)
+		return
+	}
+	defer rd.Close()
+
+	lastPing := time.Time{}
+	for {
+		if srv.draining() {
+			return
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+		chunk, start, err := rd.Next()
+		switch {
+		case err == nil:
+			rw.AppendArrayHeader(4)
+			rw.AppendBulkString(replKindFrames)
+			rw.AppendBulkUint(start.Seg)
+			rw.AppendBulkUint(uint64(start.Off))
+			rw.AppendBulk(chunk)
+			if err := flush(); err != nil {
+				return
+			}
+			end := rd.Pos()
+			link.sentSeg.Store(end.Seg)
+			link.sentOff.Store(uint64(end.Off))
+			link.sentBytes.Add(uint64(len(chunk)))
+		case errors.Is(err, wal.ErrNoData):
+			if time.Since(lastPing) >= replPingEvery {
+				tail := w.TailPosition()
+				rw.AppendArrayHeader(3)
+				rw.AppendBulkString(replKindPing)
+				rw.AppendBulkUint(tail.Seg)
+				rw.AppendBulkUint(uint64(tail.Off))
+				if err := flush(); err != nil {
+					return
+				}
+				lastPing = time.Now()
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(replPollInterval):
+			}
+		default:
+			gm.log.Warn("replication stream failed", "remote", link.addr, "err", err)
+			return
+		}
+	}
+}
+
+// parseReplack decodes a follower's ack command array.
+func parseReplack(v resp.Value) (seg, off uint64, ok bool) {
+	if v.Type != '*' || len(v.Array) != 3 || !strings.EqualFold(v.Array[0].Str, "g.replack") {
+		return 0, 0, false
+	}
+	seg, err := strconv.ParseUint(v.Array[1].Str, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	off, err = strconv.ParseUint(v.Array[2].Str, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return seg, off, true
+}
+
+func (gm *GraphModule) addLink(l *replLink) {
+	gm.replMu.Lock()
+	if gm.links == nil {
+		gm.links = make(map[*replLink]struct{})
+	}
+	gm.links[l] = struct{}{}
+	gm.replMu.Unlock()
+}
+
+func (gm *GraphModule) removeLink(l *replLink) {
+	gm.replMu.Lock()
+	delete(gm.links, l)
+	gm.replMu.Unlock()
+	l.pin.Release()
+}
+
+// replLinks snapshots the connected follower links, connection order
+// unspecified.
+func (gm *GraphModule) replLinks() []*replLink {
+	gm.replMu.Lock()
+	defer gm.replMu.Unlock()
+	out := make([]*replLink, 0, len(gm.links))
+	for l := range gm.links {
+		out = append(out, l)
+	}
+	return out
+}

@@ -117,6 +117,12 @@ type Server struct {
 	// for its duration.
 	loading atomic.Bool
 
+	// readOnly marks a replica: dispatch rejects write-flagged commands
+	// with -READONLY. The replication apply path bypasses dispatch
+	// (ApplyBatch straight into the engine), so the flag only gates
+	// clients.
+	readOnly atomic.Bool
+
 	ln     net.Listener
 	closed chan struct{} // closed when Shutdown begins
 
@@ -184,6 +190,13 @@ func (s *Server) SetLoading(on bool) { s.loading.Store(on) }
 
 // Loading reports whether a recovery swap is in progress.
 func (s *Server) Loading() bool { return s.loading.Load() }
+
+// SetReadOnly flips replica mode: while set, write-flagged commands
+// are rejected with -READONLY.
+func (s *Server) SetReadOnly(on bool) { s.readOnly.Store(on) }
+
+// ReadOnly reports whether the server rejects writes (replica mode).
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 
 // LoadModule registers a module's commands (--loadmodule equivalent).
 func (s *Server) LoadModule(m *Module) error {
@@ -400,7 +413,7 @@ func (s *Server) serve(nc net.Conn) {
 	// One Ctx per connection, reused across every command it serves:
 	// its scratch buffers are what keep the command cycle allocation-
 	// free once warm.
-	ctx := &Ctx{srv: s, w: &c.W, Conn: cs}
+	ctx := &Ctx{srv: s, w: &c.W, Conn: cs, rc: c}
 	s.log.Debug("connection accepted", "remote", cs.RemoteAddr)
 	defer func() {
 		s.log.Debug("connection closed", "remote", cs.RemoteAddr, "commands", cs.Commands)
@@ -422,6 +435,12 @@ func (s *Server) serve(nc net.Conn) {
 		}
 		cs.Commands++
 		s.serveRequest(ctx, req.Args)
+		if ctx.hijacked {
+			// The handler took the connection over (replication stream)
+			// and owned it until its stream ended; nothing more can be
+			// served on it.
+			return
+		}
 		// Pipelining: while the client has already sent more commands,
 		// keep replies buffered and dispatch straight into the backlog —
 		// one syscall then answers the whole burst. Flush when the input
@@ -475,15 +494,18 @@ func (s *Server) serveRequest(ctx *Ctx, args [][]byte) {
 		err = &ArityError{Cmd: cmd.Name}
 	case cmd.Flags&FlagWrite != 0 && s.loading.Load():
 		err = &LoadingError{}
+	case cmd.Flags&FlagWrite != 0 && s.readOnly.Load():
+		err = &ReadOnlyError{Cmd: cmd.Name}
 	default:
 		ctx.Name = cmd.Name
 		ctx.Args = args[1:]
 		ctx.Graph = nil
+		ctx.hijacked = false
 		mark := w.Mark()
 		before := w.Len()
 		if err = cmd.Handler(ctx); err != nil {
 			w.Rewind(mark)
-		} else if w.Len() == before {
+		} else if !ctx.hijacked && w.Len() == before {
 			err = fmt.Errorf("command %q produced no reply", cmd.Name)
 		}
 	}
@@ -519,6 +541,7 @@ func (s *Server) Dispatch(req resp.Value) resp.Value {
 	}
 	d.ctx.srv, d.ctx.w = s, &d.w
 	d.ctx.Conn, d.ctx.Graph = nil, nil
+	d.ctx.rc, d.ctx.hijacked = nil, false
 	s.serveRequest(&d.ctx, d.args)
 	reply, err := resp.Read(bufio.NewReader(bytes.NewReader(d.w.Bytes())))
 	d.w.Reset()

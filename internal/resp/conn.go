@@ -72,6 +72,13 @@ func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
 
+// NetConn exposes the underlying connection for handlers that take the
+// stream over entirely (the replication shipper). A takeover is only
+// sound when the Conn's read buffer is empty (Buffered() == 0) and its
+// Writer has been flushed; after it, the taker owns all reads and
+// writes and must not touch W or ReadRequest again.
+func (c *Conn) NetConn() net.Conn { return c.nc }
+
 // Abort marks the connection as draining and interrupts a reader parked
 // in ReadRequest's idle wait by expiring its read deadline. The store
 // happens before the deadline poke, and ReadRequest re-checks the flag

@@ -20,6 +20,13 @@
 // anywhere else as core.ErrCorrupt. Checkpoint writes a consistent
 // snapshot cut against a segment rotation and deletes the log prefix
 // the snapshot supersedes, bounding replay work.
+//
+// The log is also readable while open: Reader streams CRC-validated
+// frame chunks from any Position up to the durable tail (the
+// replication shipping path), and Pin holds a retention floor so
+// RemoveSegmentsBefore — which now scans and deletes entirely under
+// the WAL lock; see its contract note — can never unlink a segment a
+// reader still needs.
 package wal
 
 import (
@@ -188,6 +195,17 @@ type WAL struct {
 	err      error  // sticky: first write/sync failure poisons the WAL
 	closed   bool
 
+	// pins holds the live retention pins (see Pin): compaction via
+	// RemoveSegmentsBefore never deletes a segment at or above the
+	// lowest pinned index, so log shippers can read sealed segments
+	// without racing checkpoint-driven deletion.
+	pins map[*Pin]struct{}
+
+	// flusherDone is closed when the SyncAsync background flusher
+	// exits; nil under other policies. Close waits on it before closing
+	// the segment file so no write can land after the close.
+	flusherDone chan struct{}
+
 	// Observability counters. Atomics, not mu-guarded fields: the group
 	// commit leader bumps bytes/commits/syncs with mu released, and the
 	// /metrics scraper must be able to read without queueing behind an
@@ -214,6 +232,7 @@ type Stats struct {
 	Segment      uint64 // segment currently appended to
 	PendingBytes uint64 // queued frame bytes not yet written
 	Failed       bool   // the sticky error has poisoned the WAL
+	Closed       bool   // Close has run; the counters are final
 }
 
 // Stats returns the current counters. Like Segment it waits out an
@@ -237,6 +256,7 @@ func (w *WAL) Stats() Stats {
 	st.Segment = w.seg
 	st.PendingBytes = uint64(len(w.pending))
 	st.Failed = w.err != nil
+	st.Closed = w.closed
 	return st
 }
 
@@ -343,7 +363,9 @@ func (w *WAL) startFlusher() {
 	if w.opts.Sync != SyncAsync {
 		return
 	}
+	w.flusherDone = make(chan struct{})
 	go func() {
+		defer close(w.flusherDone)
 		w.mu.Lock()
 		defer w.mu.Unlock()
 		for {
@@ -663,32 +685,55 @@ func (w *WAL) Rotate() (uint64, error) {
 	return w.seg, nil
 }
 
-// RemoveSegmentsBefore deletes every sealed segment with index < seg —
-// the log-compaction step after a checkpoint at cut seg. The current
-// segment is never removed.
+// RemoveSegmentsBefore deletes sealed segments with index < seg — the
+// log-compaction step after a checkpoint at cut seg. The current
+// segment is never removed, and the requested cut is clamped to the
+// retention floor: no segment at or above the lowest held Pin is
+// deleted, so a log shipper's read position stays servable.
+//
+// Contract note: the scan and the deletes run with the WAL lock held.
+// An earlier version captured the current segment index, released the
+// lock, and then deleted — so a concurrent Rotate could advance the
+// segment between capture and unlink, and a tail reader could have its
+// segment removed out from under it. Holding the lock across the whole
+// operation (deletions are rare and cheap next to an fsync) closes
+// both races.
 func (w *WAL) RemoveSegmentsBefore(seg uint64) error {
 	if err := w.exclusive(); err != nil {
 		return err
 	}
-	cur := w.seg
-	w.mu.Unlock()
-
+	defer w.mu.Unlock()
+	floor := seg
+	for p := range w.pins {
+		if p.seg < floor {
+			floor = p.seg
+		}
+	}
 	segs, err := listSegments(w.dir)
 	if err != nil {
 		return err
 	}
+	removed := false
 	for _, s := range segs {
-		if s.index < seg && s.index != cur {
+		if s.index < floor && s.index != w.seg {
 			if err := os.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: remove %s: %w", s.path, err)
 			}
+			removed = true
 		}
+	}
+	if !removed {
+		return nil
 	}
 	return syncDir(w.dir)
 }
 
 // Close flushes, fsyncs and closes the WAL. Further appends fail with
-// ErrClosed.
+// ErrClosed. The final segment fsync is followed by a directory fsync
+// so the sealed tail length survives a machine crash, and under
+// SyncAsync Close does not return until the background flusher has
+// exited — no goroutine outlives the WAL and no write can land on the
+// segment file after it is closed.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	for w.flushing {
@@ -700,7 +745,7 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	var err error
-	if w.err == nil {
+	if w.err == nil && w.f != nil {
 		err = w.flushPendingLocked()
 		if err == nil {
 			if serr := w.f.Sync(); serr != nil {
@@ -710,12 +755,28 @@ func (w *WAL) Close() error {
 			}
 		}
 	}
-	if cerr := w.f.Close(); cerr != nil && err == nil {
-		err = cerr
-	}
-	w.unlockDir()
+	// Wake the flusher (it parks on cond) and anything waiting in
+	// enqueue, then wait for the flusher to exit before touching the
+	// file descriptor it might still write to.
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	if w.flusherDone != nil {
+		<-w.flusherDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		if cerr := w.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	if err == nil {
+		if derr := syncDir(w.dir); derr != nil {
+			err = derr
+		}
+	}
+	w.unlockDir()
 	return err
 }
 
