@@ -14,14 +14,23 @@
 //	cgserver -addr 127.0.0.1:6380 -wal-dir /var/lib/cgserver \
 //	         -wal-sync always -checkpoint-every 5m
 //
+// If the log fails under a write (disk full, I/O error), the failing
+// write is errored and -wal-on-error selects what happens next: the
+// default readonly keeps the process serving reads while writes answer
+// -MISCONF until the operator frees space and runs wal_resume; panic
+// crashes so a supervisor can restart against healthy storage. See
+// README.md § Failure modes & degraded operation for the runbook.
+//
 // For production serving, -metrics-addr exposes GET /metrics
 // (Prometheus text format: per-command counters and latency histograms
-// plus engine, snapshot and WAL state) and GET /healthz, and -pprof
-// additionally mounts /debug/pprof/ on the same listener; -max-conns,
-// -read-timeout and -write-timeout bound misbehaving clients; and
-// SIGTERM/SIGINT trigger a graceful shutdown that drains in-flight
-// commands (bounded by -shutdown-timeout), releases retained snapshot
-// views and closes the WAL cleanly:
+// plus engine, snapshot and WAL state), GET /healthz (liveness) and
+// GET /readyz (readiness: 503 while loading, degraded, or a replica is
+// still bootstrapping), and -pprof additionally mounts /debug/pprof/
+// on the same listener; -max-conns, -read-timeout and -write-timeout
+// bound misbehaving clients; and SIGTERM/SIGINT trigger a graceful
+// shutdown that drains in-flight commands (bounded by
+// -shutdown-timeout), releases retained snapshot views and closes the
+// WAL cleanly:
 //
 //	cgserver -addr 127.0.0.1:6380 -metrics-addr 127.0.0.1:9180 \
 //	         -max-conns 1024 -read-timeout 30s -write-timeout 30s \
@@ -69,6 +78,7 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
 	walDir := flag.String("wal-dir", "", "durability directory (write-ahead log + checkpoints); empty disables")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), nosync (page cache), async (background writes)")
+	walOnError := flag.String("wal-on-error", "readonly", "what a WAL storage failure does: readonly (degrade to -MISCONF writes until wal_resume) or panic (crash for a supervisor restart)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval, e.g. 5m (0 disables; requires -wal-dir)")
 	replicaOf := flag.String("replica-of", "", "leader host:port to replicate from; the server becomes a read-only follower (conflicts with -wal-dir)")
 	snapshotRing := flag.Int("snapshot-ring", redislike.DefaultSnapshotRing,
@@ -123,6 +133,12 @@ func run() int {
 			logger.Error("bad -wal-sync", "err", err)
 			return 2
 		}
+		policy, err := redislike.ParseWALErrorPolicy(*walOnError)
+		if err != nil {
+			logger.Error("bad -wal-on-error", "err", err)
+			return 2
+		}
+		gm.SetWALErrorPolicy(policy)
 		stats, err := gm.RecoverWAL(*walDir)
 		if err != nil {
 			logger.Error("wal recovery failed", "dir", *walDir, "err", err)

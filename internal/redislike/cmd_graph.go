@@ -37,9 +37,13 @@ func parseEdgeArgs(ctx *Ctx) (u, v uint64, err error) {
 
 // walCheck surfaces a durability failure after a write: the mutation is
 // in memory but not durably logged, and a client that sees this error
-// must not assume the write survives a crash.
-func walCheck(ctx *Ctx) error {
+// must not assume the write survives a crash. Observing the failure
+// also triggers the configured storage-failure policy (degrade to
+// read-only serving, or panic) — so the -WALERR the triggering client
+// sees is the last write ack the server hands out until wal_resume.
+func (gm *GraphModule) walCheck(ctx *Ctx) error {
 	if err := ctx.Graph.LogErr(); err != nil {
+		gm.walFailed(err)
 		return &WALError{Cmd: ctx.Name, Err: err}
 	}
 	return nil
@@ -51,7 +55,7 @@ func (gm *GraphModule) insert(ctx *Ctx) error {
 		return err
 	}
 	added := ctx.Graph.InsertEdge(u, v)
-	if err := walCheck(ctx); err != nil {
+	if err := gm.walCheck(ctx); err != nil {
 		return err
 	}
 	ctx.ReplyBool(added)
@@ -64,7 +68,7 @@ func (gm *GraphModule) del(ctx *Ctx) error {
 		return err
 	}
 	deleted := ctx.Graph.DeleteEdge(u, v)
-	if err := walCheck(ctx); err != nil {
+	if err := gm.walCheck(ctx); err != nil {
 		return err
 	}
 	ctx.ReplyBool(deleted)
@@ -103,7 +107,7 @@ func (gm *GraphModule) minsert(ctx *Ctx) error {
 		return err
 	}
 	res := ctx.Graph.ApplyBatch(b)
-	if err := walCheck(ctx); err != nil {
+	if err := gm.walCheck(ctx); err != nil {
 		return err
 	}
 	ctx.ReplyInt(int64(res.Inserted))
@@ -118,7 +122,7 @@ func (gm *GraphModule) mdel(ctx *Ctx) error {
 		return err
 	}
 	res := ctx.Graph.ApplyBatch(b)
-	if err := walCheck(ctx); err != nil {
+	if err := gm.walCheck(ctx); err != nil {
 		return err
 	}
 	ctx.ReplyInt(int64(res.Deleted))

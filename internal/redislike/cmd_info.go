@@ -73,6 +73,10 @@ func (gm *GraphModule) infoServer(ctx *Ctx, b *strings.Builder) {
 	fmt.Fprintf(b, "connections_accepted:%d\n", m.connsAccepted.Load())
 	fmt.Fprintf(b, "connections_rejected:%d\n", m.connsRejected.Load())
 	fmt.Fprintf(b, "loading:%d\n", b2i(s.Loading()))
+	fmt.Fprintf(b, "degraded:%d\n", b2i(s.Degraded()))
+	if reason := s.DegradedReason(); reason != "" {
+		fmt.Fprintf(b, "degraded_reason:%s\n", reason)
+	}
 	fmt.Fprintf(b, "shutting_down:%d\n", b2i(s.draining()))
 }
 
@@ -135,6 +139,7 @@ func (gm *GraphModule) infoWAL(b *strings.Builder) {
 	st := w.Stats()
 	fmt.Fprintf(b, "enabled:1\n")
 	fmt.Fprintf(b, "dir:%s\n", w.Dir())
+	fmt.Fprintf(b, "on_error_policy:%s\n", gm.WALErrorPolicyValue().String())
 	fmt.Fprintf(b, "segment:%d\n", st.Segment)
 	fmt.Fprintf(b, "appends:%d\n", st.Appends)
 	fmt.Fprintf(b, "records:%d\n", st.Records)

@@ -2,6 +2,7 @@ package redislike
 
 import (
 	"fmt"
+	"strings"
 
 	"cuckoograph/internal/sharded"
 	"cuckoograph/internal/wal"
@@ -10,6 +11,65 @@ import (
 // Durability control plane: the WAL API methods and their command
 // handlers. Everything here serialises on walMu; the data plane never
 // touches it.
+
+// WALErrorPolicy selects what a WAL storage failure does to the server
+// (cgserver -wal-on-error). The default, read-only, keeps the process
+// up: the failing write is errored, the server degrades to -MISCONF on
+// writes while reads keep serving, and wal_resume restores service once
+// the operator fixes the storage. Panic crashes instead — for
+// deployments where a supervisor restart against a healthy disk beats
+// running without durability.
+type WALErrorPolicy int32
+
+const (
+	WALOnErrorReadOnly WALErrorPolicy = iota
+	WALOnErrorPanic
+)
+
+func (p WALErrorPolicy) String() string {
+	if p == WALOnErrorPanic {
+		return "panic"
+	}
+	return "readonly"
+}
+
+// ParseWALErrorPolicy parses a -wal-on-error flag value. The empty
+// string means the default read-only policy.
+func ParseWALErrorPolicy(s string) (WALErrorPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "readonly":
+		return WALOnErrorReadOnly, nil
+	case "panic":
+		return WALOnErrorPanic, nil
+	}
+	return 0, fmt.Errorf("unknown wal error policy %q (want readonly|panic)", s)
+}
+
+// SetWALErrorPolicy selects the storage-failure policy.
+func (gm *GraphModule) SetWALErrorPolicy(p WALErrorPolicy) { gm.walPolicy.Store(int32(p)) }
+
+// WALErrorPolicyValue returns the configured storage-failure policy.
+func (gm *GraphModule) WALErrorPolicyValue() WALErrorPolicy {
+	return WALErrorPolicy(gm.walPolicy.Load())
+}
+
+// walFailed reacts to an observed WAL failure per the configured
+// policy: panic, or degrade the host server to read-only serving. It is
+// called from the data plane on every write that observes the sticky
+// log error, so the degrade edge (log line included) fires exactly
+// once.
+func (gm *GraphModule) walFailed(err error) {
+	if WALErrorPolicy(gm.walPolicy.Load()) == WALOnErrorPanic {
+		gm.log.Error("wal failure with -wal-on-error=panic", "err", err)
+		panic(fmt.Sprintf("wal failure (-wal-on-error=panic): %v", err))
+	}
+	if s := gm.host.Load(); s != nil {
+		if s.SetDegraded("wal: " + err.Error()) {
+			gm.log.Error("wal failure; degrading to read-only serving (run wal_resume after fixing storage)",
+				"err", err)
+		}
+	}
+}
 
 // EnableWAL opens (creating if needed) the write-ahead log in dir and
 // attaches it to the graph, making every subsequent acknowledged
@@ -41,7 +101,57 @@ func (gm *GraphModule) EnableWAL(dir string, opts wal.Options) error {
 	}
 	gm.wal = w
 	gm.walPtr.Store(w)
+	// Remembered so ResumeWAL can reopen the same log with the same
+	// policy after a storage failure.
+	gm.walOpts, gm.walDir = opts, dir
 	gm.log.Info("wal enabled", "dir", dir, "sync", opts.Sync.String())
+	return nil
+}
+
+// ResumeWAL recovers from a WAL storage failure: it detaches and closes
+// the poisoned log, reopens the directory (truncating any torn tail),
+// and cuts a fresh checkpoint before reattaching. The checkpoint is the
+// correctness keystone — mutations that were applied in memory but
+// whose append failed exist nowhere on disk, so the reopened directory
+// must be made to describe the live graph before any new write is acked
+// against it. On success the host server leaves degraded mode.
+func (gm *GraphModule) ResumeWAL() error {
+	gm.walMu.Lock()
+	defer gm.walMu.Unlock()
+	if gm.walDir == "" {
+		return fmt.Errorf("wal not enabled")
+	}
+	dir := gm.walDir
+	g := gm.Graph()
+	// gm.wal is nil when a previous resume attempt already tore the
+	// poisoned log down but could not reopen it (disk still full) — the
+	// retry just goes straight to the reopen.
+	if gm.wal != nil {
+		g.SetWAL(nil)
+		gm.walPtr.Store(nil)
+		// The close of a poisoned WAL reports the sticky error; that
+		// failure is exactly why we are here, so it is logged and dropped.
+		if err := gm.wal.Close(); err != nil {
+			gm.log.Warn("wal resume: closing failed log", "err", err)
+		}
+		gm.wal = nil
+	}
+	w, err := wal.Open(dir, gm.walOpts)
+	if err != nil {
+		return fmt.Errorf("reopen wal in %s: %w", dir, err)
+	}
+	g.SetWAL(w)
+	if _, err := wal.Checkpoint(g, w); err != nil {
+		g.SetWAL(nil)
+		w.Close()
+		return fmt.Errorf("checkpoint after reopen (storage still failing?): %w", err)
+	}
+	gm.wal = w
+	gm.walPtr.Store(w)
+	if s := gm.host.Load(); s != nil {
+		s.ClearDegraded()
+	}
+	gm.log.Info("wal resumed", "dir", dir)
 	return nil
 }
 
@@ -98,6 +208,9 @@ func (gm *GraphModule) Checkpoint() (string, error) {
 func (gm *GraphModule) CloseWAL() error {
 	gm.walMu.Lock()
 	defer gm.walMu.Unlock()
+	// A deliberate close forgets the directory: wal_resume must not
+	// resurrect a log the operator shut down on purpose.
+	gm.walDir = ""
 	if gm.wal == nil {
 		return nil
 	}
@@ -151,5 +264,13 @@ func (gm *GraphModule) checkpoint(ctx *Ctx) error {
 		return &WALError{Cmd: ctx.Name, Err: err}
 	}
 	ctx.ReplyBulkString(path)
+	return nil
+}
+
+func (gm *GraphModule) walResume(ctx *Ctx) error {
+	if err := gm.ResumeWAL(); err != nil {
+		return &WALError{Cmd: ctx.Name, Err: err}
+	}
+	ctx.ReplySimple("OK")
 	return nil
 }

@@ -1,0 +1,300 @@
+package redislike
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cuckoograph/internal/resp"
+	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/vfs"
+	"cuckoograph/internal/wal"
+)
+
+// Degraded-mode serving: a WAL storage failure under a live workload
+// must fail the triggering write, flip the server into read-only
+// -MISCONF mode with reads unaffected, surface through G.INFO, metrics
+// and /readyz, and hand service back after wal_resume — with nothing
+// acked ever lost to the recovery directory.
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(body)
+}
+
+// TestDegradedModeENOSPCPipelined is the acceptance pin: FaultFS forces
+// ENOSPC under a pipelined workload; the in-flight write errors with
+// -WALERR, later writes answer -MISCONF, reads keep serving, state is
+// visible everywhere it should be, and wal_resume restores write
+// service with a recovery directory that describes the whole graph.
+func TestDegradedModeENOSPCPipelined(t *testing.T) {
+	srv, gm, addr := startGraphServer(t, Config{})
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(nil)
+	if err := gm.EnableWAL(dir, wal.Options{Sync: wal.SyncAlways, FS: ffs}); err != nil {
+		t.Fatal(err)
+	}
+	maddr, err := srv.ListenMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := dialPipe(t, addr)
+	p.push("g.insert", "1", "2")
+	p.flush()
+	if v := p.read(); v.Type != ':' || v.Int != 1 {
+		t.Fatalf("healthy insert: got %+v", v)
+	}
+
+	// The disk fills. The whole burst is pipelined before any reply is
+	// read: the first write observes the append failure (-WALERR, its
+	// mutation is in memory but not durable), every later write in the
+	// burst is rejected up front (-MISCONF), and the reads in between
+	// keep answering.
+	ffs.SetFault(vfs.Fault{Kinds: vfs.OpWrite.Mask() | vfs.OpSync.Mask(), Err: syscall.ENOSPC})
+	p.push("g.insert", "3", "4")
+	p.push("g.query", "1", "2")
+	p.push("g.insert", "5", "6")
+	p.push("g.minsert", "7", "8", "9", "10")
+	p.push("g.query", "3", "4")
+	p.flush()
+	if v := p.read(); v.Type != '-' || !strings.HasPrefix(v.Str, ClassWALErr+" ") {
+		t.Fatalf("write on full disk: want -WALERR, got %+v", v)
+	}
+	if v := p.read(); v.Type != ':' || v.Int != 1 {
+		t.Fatalf("read while degraded: got %+v", v)
+	}
+	for i := 0; i < 2; i++ {
+		if v := p.read(); v.Type != '-' || !strings.HasPrefix(v.Str, ClassMisconf+" ") {
+			t.Fatalf("write %d while degraded: want -MISCONF, got %+v", i, v)
+		}
+	}
+	// The -WALERR'd mutation was applied in memory; reads serve it even
+	// though it is not yet durable.
+	if v := p.read(); v.Type != ':' || v.Int != 1 {
+		t.Fatalf("read of non-durable edge: got %+v", v)
+	}
+	if !srv.Degraded() {
+		t.Fatal("server not degraded after WAL failure")
+	}
+
+	// Surfacing: G.INFO, /metrics, /healthz (alive), /readyz (not ready).
+	p.push("g.info", "server")
+	p.flush()
+	if v := p.read(); !strings.Contains(v.Str, "degraded:1") || !strings.Contains(v.Str, "degraded_reason:wal:") {
+		t.Fatalf("g.info server while degraded:\n%s", v.Str)
+	}
+	if code, body := httpGet(t, "http://"+maddr+"/metrics"); code != 200 || !strings.Contains(body, "cg_degraded 1") {
+		t.Fatalf("metrics while degraded: code=%d, cg_degraded sample missing", code)
+	}
+	if code, body := httpGet(t, "http://"+maddr+"/healthz"); code != 200 || !strings.Contains(body, "degraded") {
+		t.Fatalf("healthz while degraded: code=%d body=%q (liveness must hold, body must say degraded)", code, body)
+	}
+	if code, body := httpGet(t, "http://"+maddr+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("readyz while degraded: code=%d body=%q", code, body)
+	}
+
+	// wal_resume while the disk is still full fails and stays degraded.
+	p.push("wal_resume")
+	p.flush()
+	if v := p.read(); v.Type != '-' || !strings.HasPrefix(v.Str, ClassWALErr+" ") {
+		t.Fatalf("wal_resume on still-full disk: want -WALERR, got %+v", v)
+	}
+	if !srv.Degraded() {
+		t.Fatal("failed wal_resume must leave the server degraded")
+	}
+
+	// The operator frees space; wal_resume reopens the log, checkpoints
+	// the live graph (capturing the -WALERR'd in-memory mutation), and
+	// write service returns.
+	ffs.ClearFault()
+	p.push("wal_resume")
+	p.push("g.insert", "11", "12")
+	p.push("g.query", "3", "4")
+	p.flush()
+	if v := p.read(); v.Type != '+' || v.Str != "OK" {
+		t.Fatalf("wal_resume after freeing space: got %+v", v)
+	}
+	if v := p.read(); v.Type != ':' || v.Int != 1 {
+		t.Fatalf("insert after resume: got %+v", v)
+	}
+	if v := p.read(); v.Type != ':' || v.Int != 1 {
+		t.Fatalf("query after resume: got %+v", v)
+	}
+	if srv.Degraded() {
+		t.Fatal("server still degraded after successful wal_resume")
+	}
+	if code, _ := httpGet(t, "http://"+maddr+"/readyz"); code != 200 {
+		t.Fatalf("readyz after resume: code=%d", code)
+	}
+
+	// Recovery completeness: the directory must describe the full live
+	// graph — including the edge whose original append failed.
+	live := gm.Graph()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	g, _, err := wal.Recover(dir, sharded.Config{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	for _, e := range [][2]uint64{{1, 2}, {3, 4}, {11, 12}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost from recovery directory", e)
+		}
+	}
+	if g.NumEdges() != live.NumEdges() {
+		t.Fatalf("recovered %d edges, live graph had %d", g.NumEdges(), live.NumEdges())
+	}
+}
+
+// TestWALOnErrorPanicPolicy: with -wal-on-error=panic a WAL failure
+// crashes the write path instead of degrading.
+func TestWALOnErrorPanicPolicy(t *testing.T) {
+	srv, gm, _ := startGraphServer(t, Config{})
+	gm.SetWALErrorPolicy(WALOnErrorPanic)
+	ffs := vfs.NewFaultFS(nil)
+	if err := gm.EnableWAL(t.TempDir(), wal.Options{Sync: wal.SyncAlways, FS: ffs}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetFault(vfs.Fault{Kinds: vfs.OpWrite.Mask() | vfs.OpSync.Mask(), Err: syscall.EIO})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("write on failed WAL did not panic under the panic policy")
+		}
+		if !strings.Contains(fmt.Sprint(r), "-wal-on-error=panic") {
+			t.Fatalf("panic message %q does not name the policy", r)
+		}
+		// Disarm the fault so module teardown can close the WAL.
+		ffs.ClearFault()
+		gm.Graph().SetWAL(nil)
+		srv.Close()
+	}()
+	srv.Dispatch(resp.Command("g.insert", "1", "2"))
+}
+
+// TestReadyzReplicaBootstrapGate: a replica that has not reached
+// streaming state is alive but not ready; the gate latches open once
+// it has bootstrapped.
+func TestReadyzReplicaBootstrapGate(t *testing.T) {
+	srv, gm, _ := startGraphServer(t, Config{})
+	r := &Replica{gm: gm, done: make(chan struct{})}
+	gm.replica.Store(r)
+	if err := srv.Ready(); err == nil || !strings.Contains(err.Error(), "bootstrapping") {
+		t.Fatalf("Ready() with unbootstrapped replica: want bootstrapping error, got %v", err)
+	}
+	r.markStreaming()
+	if err := srv.Ready(); err != nil {
+		t.Fatalf("Ready() after bootstrap: %v", err)
+	}
+	gm.replica.Store(nil)
+}
+
+// TestReplicationTerminalErrFrame (satellite): a leader whose log
+// fails under stream setup emits the terminal ["err", msg] frame
+// instead of silently dropping the connection.
+func TestReplicationTerminalErrFrame(t *testing.T) {
+	srv, gm, addr := startGraphServer(t, Config{})
+	ffs := vfs.NewFaultFS(nil)
+	if err := gm.EnableWAL(t.TempDir(), wal.Options{FS: ffs}); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if v := srv.Dispatch(resp.Command("g.insert", "1", "2")); v.Type == '-' {
+		t.Fatalf("insert: %s", v.Str)
+	}
+
+	// A bootstrap request (0 0) forces a snapshot cut against a segment
+	// rotation; failing the new segment's creation fails the cut, which
+	// must be answered with a terminal err frame.
+	ffs.SetFault(vfs.Fault{Kinds: vfs.OpCreate.Mask(), PathContains: ".seg", Err: syscall.ENOSPC})
+	p := dialPipe(t, addr)
+	p.push("g.replicate", "0", "0")
+	p.flush()
+	v := p.read()
+	if v.Type != '*' || len(v.Array) != 2 || v.Array[0].Str != replKindErr {
+		t.Fatalf("want terminal [err, msg] frame, got %+v", v)
+	}
+	if !strings.Contains(v.Array[1].Str, "snapshot failed") {
+		t.Fatalf("err frame message %q does not say why", v.Array[1].Str)
+	}
+	ffs.ClearFault()
+}
+
+// TestReplicaHandlesErrFrame (satellite): the follower surfaces a
+// leader's terminal err frame as a typed stream error — distinguishable
+// from a network drop.
+func TestReplicaHandlesErrFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// Consume the g.replicate request, then end the stream on purpose.
+		buf := make([]byte, 256)
+		c.Read(buf)
+		bw := bufio.NewWriter(c)
+		resp.Write(bw, resp.Command(replKindErr, "log read failed"))
+		bw.Flush()
+	}()
+
+	_, gm, _ := startGraphServer(t, Config{})
+	r := &Replica{
+		gm:     gm,
+		leader: ln.Addr().String(),
+		log:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+		done:   make(chan struct{}),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, serr := r.stream(ctx)
+	if serr == nil || !strings.Contains(serr.Error(), "leader ended stream: log read failed") {
+		t.Fatalf("want typed leader-ended error, got %v", serr)
+	}
+}
+
+// TestJitterBackoffRange (satellite): reconnect delays are spread
+// across [d/2, 3d/2) instead of firing in lockstep.
+func TestJitterBackoffRange(t *testing.T) {
+	base := time.Second
+	lo, hi := base, base
+	for i := 0; i < 200; i++ {
+		d := jitterBackoff(base)
+		if d < base/2 || d >= base+base/2 {
+			t.Fatalf("jitterBackoff(%v) = %v outside [%v, %v)", base, d, base/2, base+base/2)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi-lo < base/4 {
+		t.Fatalf("jitter spread %v over 200 samples is suspiciously tight", hi-lo)
+	}
+}

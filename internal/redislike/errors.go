@@ -25,6 +25,7 @@ const (
 	ClassMaxClients = "MAXCLIENTS" // connection admission rejected
 	ClassShutdown   = "SHUTDOWN"   // server is draining
 	ClassReadOnly   = "READONLY"   // write rejected on a replica
+	ClassMisconf    = "MISCONF"    // write rejected in degraded (WAL-failed) mode
 )
 
 // ArityError reports a call violating the command's registered arity.
@@ -105,6 +106,29 @@ func (e *ReadOnlyError) Error() string {
 	return fmt.Sprintf("cannot execute '%s' against a read-only replica; send writes to the leader", e.Cmd)
 }
 
+// DegradedError rejects a write-flagged command while the server is in
+// degraded read-only mode: the WAL failed under an earlier write (disk
+// full, I/O error), so new mutations can no longer be made durable.
+// Unlike -READONLY this is an operational condition, not a role — reads
+// keep serving, and the operator exits it with wal_resume once the
+// storage problem is fixed. The MISCONF class matches the Redis
+// convention for "persistence is broken, writes refused".
+type DegradedError struct {
+	Cmd    string
+	Reason string
+}
+
+func (e *DegradedError) Error() string {
+	msg := "write commands are rejected: degraded mode after a wal failure"
+	if e.Cmd != "" {
+		msg = fmt.Sprintf("cannot execute '%s': %s", e.Cmd, msg)
+	}
+	if e.Reason != "" {
+		msg += " (" + e.Reason + ")"
+	}
+	return msg + "; fix the storage and run wal_resume"
+}
+
 // errorClass maps a handler error onto its RESP class.
 func errorClass(err error) string {
 	var (
@@ -113,6 +137,7 @@ func errorClass(err error) string {
 		maxc     *MaxClientsError
 		down     *ShutdownError
 		readonly *ReadOnlyError
+		degraded *DegradedError
 	)
 	switch {
 	case errors.As(err, &walErr):
@@ -125,6 +150,8 @@ func errorClass(err error) string {
 		return ClassShutdown
 	case errors.As(err, &readonly):
 		return ClassReadOnly
+	case errors.As(err, &degraded):
+		return ClassMisconf
 	}
 	return ClassErr
 }

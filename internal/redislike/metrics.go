@@ -216,6 +216,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	mw.Counter("cg_connections_accepted_total", "Connections admitted by the server.", float64(m.connsAccepted.Load()))
 	mw.Counter("cg_connections_rejected_total", "Connections refused by admission control (limit or shutdown).", float64(m.connsRejected.Load()))
 	mw.Gauge("cg_loading", "1 while a recovery swap is rejecting write commands.", boolGauge(s.loading.Load()))
+	mw.Gauge("cg_degraded", "1 while a WAL failure has writes rejected with -MISCONF (reads keep serving).", boolGauge(s.degraded.Load()))
 	mw.Gauge("cg_shutting_down", "1 once the server has begun draining.", boolGauge(s.draining()))
 	mw.Gauge("cg_commands_registered", "Commands in the registry.", float64(s.reg.Len()))
 	m.writeCommandMetrics(mw, s.reg)
@@ -254,8 +255,11 @@ func (s *Server) MetricsHandler() http.Handler {
 func (s *Server) EnablePprof() { s.pprofOn.Store(true) }
 
 // ListenMetrics starts the observability HTTP listener on addr, serving
-// GET /metrics (Prometheus text format), GET /healthz (200 while
-// serving, 503 once draining) and — after EnablePprof — the
+// GET /metrics (Prometheus text format), GET /healthz (liveness: 200
+// while the process serves, 503 once draining — a degraded server is
+// alive and says so in the body), GET /readyz (readiness: 503 while
+// loading, degraded, or a module readiness check fails — the signal a
+// load balancer should route on) and — after EnablePprof — the
 // /debug/pprof/ profile endpoints. It returns the bound address; the
 // listener is closed during Shutdown.
 func (s *Server) ListenMetrics(addr string) (string, error) {
@@ -270,7 +274,18 @@ func (s *Server) ListenMetrics(addr string) (string, error) {
 			http.Error(w, "shutting down", http.StatusServiceUnavailable)
 			return
 		}
+		if s.Degraded() {
+			fmt.Fprintln(w, "ok (degraded: "+s.DegradedReason()+")")
+			return
+		}
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Ready(); err != nil {
+			http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	if s.pprofOn.Load() {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -46,6 +46,16 @@ type GraphModule struct {
 	// walPtr mirrors wal for lock-free readers (/metrics, g.info): a
 	// scrape must not queue behind a checkpoint holding walMu.
 	walPtr atomic.Pointer[wal.WAL]
+	// walOpts/walDir remember what EnableWAL opened, so ResumeWAL can
+	// reopen the same log under the same policy after a storage failure
+	// — including on a retry whose previous attempt already closed the
+	// poisoned WAL. Guarded by walMu.
+	walOpts wal.Options
+	walDir  string
+	// walPolicy is the WALErrorPolicy (readonly|panic) applied when the
+	// data plane observes a log failure; atomic because the hot write
+	// path reads it.
+	walPolicy atomic.Int32
 	// recovered remembers the last RecoverWAL so EnableWAL on the same
 	// directory can skip its initial checkpoint: the directory already
 	// describes that exact graph. muts is the graph's monotonic applied-
@@ -166,6 +176,9 @@ func (gm *GraphModule) moduleCommands() []*Command {
 		{Name: "checkpoint", Arity: Exactly(0), Flags: FlagAdmin,
 			Summary: "snapshot the graph into the wal dir and truncate the log",
 			Handler: gm.checkpoint},
+		{Name: "wal_resume", Arity: Exactly(0), Flags: FlagAdmin,
+			Summary: "reopen the wal after a storage failure and leave degraded mode",
+			Handler: gm.walResume},
 		{Name: "g.replicate", Arity: Exactly(2), Flags: FlagAdmin,
 			Summary: "stream wal frames from <segment> <offset>; takes the connection over",
 			Handler: gm.replicate},
@@ -175,10 +188,19 @@ func (gm *GraphModule) moduleCommands() []*Command {
 	}
 }
 
-// onLoad wires the module to its host server: logger and loading flag.
+// onLoad wires the module to its host server: logger, loading flag,
+// and the module's readiness gate — a replica that has not finished
+// bootstrapping from its leader is alive but should not receive
+// traffic yet.
 func (gm *GraphModule) onLoad(s *Server) {
 	gm.host.Store(s)
 	gm.log = s.Logger().With("module", "cuckoograph")
+	s.AddReadyCheck(func() error {
+		if r := gm.replica.Load(); r != nil && !r.Bootstrapped() {
+			return fmt.Errorf("replica still bootstrapping from %s", r.Leader())
+		}
+		return nil
+	})
 }
 
 // setLoading flips the host server's loading flag (a no-op when the

@@ -42,6 +42,11 @@ const (
 	replKindSnap   = "snap"
 	replKindFrames = "frames"
 	replKindPing   = "ping"
+	// replKindErr is the terminal frame: the leader is ending the stream
+	// deliberately (log failure, snapshot failure, shutdown) and says
+	// why, so a follower can distinguish a leader-side failure from a
+	// network drop.
+	replKindErr = "err"
 )
 
 const (
@@ -170,6 +175,16 @@ func (gm *GraphModule) streamTo(srv *Server, rc *resp.Conn, w *wal.WAL, pos wal.
 		rw.Reset()
 		return err
 	}
+	// sendErr pushes the terminal ["err", msg] frame. Best-effort: the
+	// stream is over either way, the frame only tells the follower the
+	// leader ended it on purpose and why.
+	sendErr := func(msg string) {
+		rw.Reset()
+		rw.AppendArrayHeader(2)
+		rw.AppendBulkString(replKindErr)
+		rw.AppendBulkString(msg)
+		_ = flush()
+	}
 
 	rd, err := w.OpenReader(pos)
 	if errors.Is(err, wal.ErrCompacted) {
@@ -186,6 +201,7 @@ func (gm *GraphModule) streamTo(srv *Server, rc *resp.Conn, w *wal.WAL, pos wal.
 			return rerr
 		}); cerr != nil {
 			gm.log.Error("replication snapshot failed", "remote", link.addr, "err", cerr)
+			sendErr("bootstrap snapshot failed: " + cerr.Error())
 			return
 		}
 		pos = wal.Position{Seg: cut, Off: wal.SegmentDataStart}
@@ -206,6 +222,7 @@ func (gm *GraphModule) streamTo(srv *Server, rc *resp.Conn, w *wal.WAL, pos wal.
 	}
 	if err != nil {
 		gm.log.Error("replication stream failed to open log", "remote", link.addr, "err", err)
+		sendErr("log open failed: " + err.Error())
 		return
 	}
 	defer rd.Close()
@@ -213,6 +230,7 @@ func (gm *GraphModule) streamTo(srv *Server, rc *resp.Conn, w *wal.WAL, pos wal.
 	lastPing := time.Time{}
 	for {
 		if srv.draining() {
+			sendErr("leader shutting down")
 			return
 		}
 		select {
@@ -253,7 +271,10 @@ func (gm *GraphModule) streamTo(srv *Server, rc *resp.Conn, w *wal.WAL, pos wal.
 			case <-time.After(replPollInterval):
 			}
 		default:
+			// A WAL read failure under the stream: tell the follower the
+			// log (not the network) broke, then end cleanly.
 			gm.log.Warn("replication stream failed", "remote", link.addr, "err", err)
+			sendErr("log read failed: " + err.Error())
 			return
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"net"
 	"strconv"
 	"strings"
@@ -71,6 +72,11 @@ type Replica struct {
 	ops        atomic.Uint64 // ops applied
 	snapshots  atomic.Uint64 // bootstrap snapshots installed
 	reconnects atomic.Uint64 // link losses
+
+	// bootstrapped latches true once the replica has reached streaming
+	// state at least once — the readiness gate: before it, the graph may
+	// still be empty or mid-install, and /readyz holds traffic off.
+	bootstrapped atomic.Bool
 }
 
 // StartReplica puts the server into replica mode and starts pulling
@@ -102,6 +108,25 @@ func (r *Replica) Stop() {
 // Leader returns the configured leader address.
 func (r *Replica) Leader() string { return r.leader }
 
+// Bootstrapped reports whether the replica has reached streaming state
+// at least once (sticky): the signal /readyz waits on before routing
+// reads to this node.
+func (r *Replica) Bootstrapped() bool { return r.bootstrapped.Load() }
+
+// markStreaming records a live, caught-up-or-catching-up link.
+func (r *Replica) markStreaming() {
+	r.state.Store(replicaStreaming)
+	r.bootstrapped.Store(true)
+}
+
+// jitterBackoff spreads a reconnect delay across [d/2, 3d/2) so the
+// followers of a restarted leader do not redial in lockstep — the
+// fixed exponential ladder alone synchronises every replica that lost
+// the link at the same instant.
+func jitterBackoff(d time.Duration) time.Duration {
+	return d/2 + rand.N(d)
+}
+
 // run is the reconnect loop: stream until the link breaks, back off,
 // try again from the last applied position.
 func (r *Replica) run(ctx context.Context) {
@@ -127,7 +152,7 @@ func (r *Replica) run(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff)):
 		}
 		if backoff *= 2; backoff > replicaBackoffMax {
 			backoff = replicaBackoffMax
@@ -195,7 +220,7 @@ func (r *Replica) stream(ctx context.Context) (progressed bool, err error) {
 			r.posOff.Store(uint64(wal.SegmentDataStart))
 			r.bytes.Add(uint64(len(data)))
 			r.snapshots.Add(1)
-			r.state.Store(replicaStreaming)
+			r.markStreaming()
 			progressed = true
 			r.log.Info("bootstrap snapshot installed",
 				"bytes", len(data), "edges", g.NumEdges(), "cut_segment", cut)
@@ -232,7 +257,7 @@ func (r *Replica) stream(ctx context.Context) (progressed bool, err error) {
 			r.bytes.Add(uint64(len(data)))
 			r.frames.Add(1)
 			r.ops.Add(uint64(len(batch)))
-			r.state.Store(replicaStreaming)
+			r.markStreaming()
 			progressed = true
 		case replKindPing:
 			if len(v.Array) != 3 {
@@ -245,7 +270,15 @@ func (r *Replica) stream(ctx context.Context) (progressed bool, err error) {
 			}
 			r.leaderSeg.Store(tseg)
 			r.leaderOff.Store(toff)
-			r.state.Store(replicaStreaming)
+			r.markStreaming()
+		case replKindErr:
+			// The leader ended the stream deliberately and said why —
+			// leader-side log failure or shutdown, not a network drop.
+			msg := "unspecified"
+			if len(v.Array) >= 2 {
+				msg = v.Array[1].Str
+			}
+			return progressed, fmt.Errorf("leader ended stream: %s", msg)
 		default:
 			return progressed, fmt.Errorf("unknown push kind %q", kind)
 		}

@@ -28,6 +28,12 @@
 // the dial), commands run under per-command read/write deadlines, and
 // Shutdown drains: in-flight commands finish and flush, then modules
 // tear down in order.
+//
+// When the WAL fails under a write the server degrades rather than
+// lies: the triggering write errors with -WALERR, later writes answer
+// -MISCONF while reads keep serving, and wal_resume restores write
+// service once the storage is fixed. See README.md § Failure modes &
+// degraded operation for the policy knobs and runbook.
 package redislike
 
 import (
@@ -123,6 +129,20 @@ type Server struct {
 	// clients.
 	readOnly atomic.Bool
 
+	// degraded marks the WAL-failed serving mode: dispatch rejects
+	// write-flagged commands with -MISCONF while reads keep serving.
+	// degradedReason (guarded by degradedMu, read rarely) says why, for
+	// error replies, G.INFO and /readyz.
+	degraded       atomic.Bool
+	degradedMu     sync.Mutex
+	degradedReason string
+
+	// readyChecks are module-contributed readiness gates consulted by
+	// Ready (and /readyz) beyond the built-in draining/loading/degraded
+	// conditions.
+	readyMu     sync.Mutex
+	readyChecks []func() error
+
 	ln     net.Listener
 	closed chan struct{} // closed when Shutdown begins
 
@@ -197,6 +217,71 @@ func (s *Server) SetReadOnly(on bool) { s.readOnly.Store(on) }
 
 // ReadOnly reports whether the server rejects writes (replica mode).
 func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// SetDegraded transitions the server into degraded read-only mode:
+// write-flagged commands are rejected with -MISCONF until
+// ClearDegraded, while reads keep serving. It reports whether this call
+// made the transition (false if already degraded), so callers on the
+// hot error path can log and count the edge exactly once.
+func (s *Server) SetDegraded(reason string) bool {
+	s.degradedMu.Lock()
+	s.degradedReason = reason
+	s.degradedMu.Unlock()
+	return s.degraded.CompareAndSwap(false, true)
+}
+
+// ClearDegraded leaves degraded mode — the wal_resume path, after the
+// log is writable again.
+func (s *Server) ClearDegraded() {
+	s.degraded.Store(false)
+	s.degradedMu.Lock()
+	s.degradedReason = ""
+	s.degradedMu.Unlock()
+}
+
+// Degraded reports whether the server is rejecting writes after a WAL
+// failure.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// DegradedReason returns why the server is degraded ("" when it isn't).
+func (s *Server) DegradedReason() string {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return s.degradedReason
+}
+
+// AddReadyCheck registers an extra readiness gate: /readyz reports 503
+// while any registered check returns non-nil. Modules hook conditions
+// like "replica still bootstrapping" in through here.
+func (s *Server) AddReadyCheck(f func() error) {
+	s.readyMu.Lock()
+	s.readyChecks = append(s.readyChecks, f)
+	s.readyMu.Unlock()
+}
+
+// Ready reports whether the server should receive traffic: nil when
+// ready, otherwise the first failing condition. Distinct from liveness
+// (/healthz): a degraded or loading server is alive but not ready.
+func (s *Server) Ready() error {
+	if s.draining() {
+		return &ShutdownError{}
+	}
+	if s.loading.Load() {
+		return &LoadingError{}
+	}
+	if s.degraded.Load() {
+		return &DegradedError{Reason: s.DegradedReason()}
+	}
+	s.readyMu.Lock()
+	checks := append([]func() error(nil), s.readyChecks...)
+	s.readyMu.Unlock()
+	for _, f := range checks {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // LoadModule registers a module's commands (--loadmodule equivalent).
 func (s *Server) LoadModule(m *Module) error {
@@ -496,6 +581,8 @@ func (s *Server) serveRequest(ctx *Ctx, args [][]byte) {
 		err = &LoadingError{}
 	case cmd.Flags&FlagWrite != 0 && s.readOnly.Load():
 		err = &ReadOnlyError{Cmd: cmd.Name}
+	case cmd.Flags&FlagWrite != 0 && s.degraded.Load():
+		err = &DegradedError{Cmd: cmd.Name, Reason: s.DegradedReason()}
 	default:
 		ctx.Name = cmd.Name
 		ctx.Args = args[1:]

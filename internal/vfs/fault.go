@@ -1,0 +1,445 @@
+package vfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op classifies one mutating filesystem operation, the unit fault
+// injection and trace recording work in.
+type Op uint8
+
+// The mutating operation kinds. Reads never destroy data, so they are
+// neither faultable nor traced.
+const (
+	OpCreate Op = iota // OpenFile with os.O_CREATE
+	OpWrite
+	OpSync
+	OpTruncate
+	OpRename
+	OpRemove
+	OpSyncDir
+	opCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpMask selects a set of Ops for a Fault.
+type OpMask uint32
+
+// Mask returns the single-op mask for o.
+func (o Op) Mask() OpMask { return 1 << o }
+
+// AllOps matches every mutating operation.
+const AllOps OpMask = 1<<opCount - 1
+
+// Fault describes a deterministic failure: the Nth operation matching
+// Kinds (and PathContains, when set) fails with Err. Without Once the
+// fault is sticky — every later matching operation fails too, the
+// shape of a disk that stays full. Short > 0 turns the Nth failing
+// write into a short write: Short bytes land before Err is returned.
+type Fault struct {
+	// Kinds is the operation set the fault arms on.
+	Kinds OpMask
+	// Nth is the 1-based matching-operation index that first fails;
+	// zero means 1.
+	Nth uint64
+	// Err is the injected error; nil means syscall.EIO.
+	Err error
+	// Short, on a write, is how many bytes of the Nth write land
+	// before Err. Later writes of a sticky fault fail whole.
+	Short int
+	// Once limits the fault to exactly the Nth operation; matching
+	// operations after it succeed again.
+	Once bool
+	// PathContains restricts matching to paths containing the
+	// substring; empty matches every path.
+	PathContains string
+}
+
+// Event is one recorded mutating operation. For OpWrite, Data holds
+// the bytes that actually landed (after any injected short write) at
+// offset Off. For OpTruncate, Size is the target length. For OpRename,
+// To is the destination path.
+type Event struct {
+	Op   Op
+	Path string
+	Off  int64
+	Data []byte
+	Size int64
+	To   string
+}
+
+// FaultFS wraps an FS with deterministic fault injection and
+// mutation tracing. The zero value is not usable; construct with
+// NewFaultFS. All methods are safe for concurrent use; traced events
+// are appended in the order the operations actually executed.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	fault   *Fault
+	matched uint64 // operations matched against the current fault
+	tracing bool
+	trace   []Event
+}
+
+// NewFaultFS wraps inner (OS when nil).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner}
+}
+
+// SetFault arms f. The match counter restarts at zero.
+func (f *FaultFS) SetFault(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := fault
+	f.fault = &cp
+	f.matched = 0
+}
+
+// ClearFault disarms any fault.
+func (f *FaultFS) ClearFault() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fault = nil
+	f.matched = 0
+}
+
+// StartTrace begins (or restarts) recording mutating operations.
+func (f *FaultFS) StartTrace() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tracing = true
+	f.trace = nil
+}
+
+// TraceLen returns how many events have been recorded — the cut-point
+// coordinate system for crash simulation.
+func (f *FaultFS) TraceLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.trace)
+}
+
+// Trace returns a snapshot of the recorded events. The Event structs
+// are copied; the Data payloads are shared and must not be mutated.
+func (f *FaultFS) Trace() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, len(f.trace))
+	copy(out, f.trace)
+	return out
+}
+
+// checkLocked consults the armed fault for one operation. It returns
+// (0, nil) to let the operation through, (n, err) with n > 0 to let a
+// write land only its first n bytes before failing with err, and
+// (0, err) to fail the operation outright.
+func (f *FaultFS) checkLocked(op Op, path string) (int, error) {
+	ft := f.fault
+	if ft == nil || ft.Kinds&op.Mask() == 0 ||
+		(ft.PathContains != "" && !strings.Contains(path, ft.PathContains)) {
+		return 0, nil
+	}
+	f.matched++
+	nth := ft.Nth
+	if nth == 0 {
+		nth = 1
+	}
+	if f.matched < nth || (ft.Once && f.matched > nth) {
+		return 0, nil
+	}
+	err := ft.Err
+	if err == nil {
+		err = syscall.EIO
+	}
+	if op == OpWrite && ft.Short > 0 && f.matched == nth {
+		return ft.Short, err
+	}
+	return 0, err
+}
+
+func (f *FaultFS) recordLocked(ev Event) {
+	if f.tracing {
+		f.trace = append(f.trace, ev)
+	}
+}
+
+func opError(op Op, path string, err error) error {
+	return &fs.PathError{Op: op.String(), Path: path, Err: err}
+}
+
+// OpenFile opens through the inner FS, wrapping the file for fault
+// injection and tracing. An O_CREATE open counts as an OpCreate.
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		f.mu.Lock()
+		_, ferr := f.checkLocked(OpCreate, name)
+		if ferr != nil {
+			f.mu.Unlock()
+			return nil, opError(OpCreate, name, ferr)
+		}
+		f.recordLocked(Event{Op: OpCreate, Path: name})
+		f.mu.Unlock()
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename renames through the inner FS. The fault path filter matches
+// against the source path.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ferr := f.checkLocked(OpRename, oldpath); ferr != nil {
+		return opError(OpRename, oldpath, ferr)
+	}
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.recordLocked(Event{Op: OpRename, Path: oldpath, To: newpath})
+	return nil
+}
+
+// Remove removes through the inner FS.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ferr := f.checkLocked(OpRemove, name); ferr != nil {
+		return opError(OpRemove, name, ferr)
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.recordLocked(Event{Op: OpRemove, Path: name})
+	return nil
+}
+
+// MkdirAll passes through unfaulted: the WAL creates its directory
+// once, before any interesting failure window.
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir passes through (reads are not faulted).
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+
+// Stat passes through (reads are not faulted).
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) { return f.inner.Stat(name) }
+
+// SyncDir fsyncs the directory through the inner FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ferr := f.checkLocked(OpSyncDir, dir); ferr != nil {
+		return opError(OpSyncDir, dir, ferr)
+	}
+	if err := f.inner.SyncDir(dir); err != nil {
+		return err
+	}
+	f.recordLocked(Event{Op: OpSyncDir, Path: dir})
+	return nil
+}
+
+// Flock delegates to the inner FS on the unwrapped file.
+func (f *FaultFS) Flock(file File) error {
+	if ff, ok := file.(*faultFile); ok {
+		return f.inner.Flock(ff.inner)
+	}
+	return f.inner.Flock(file)
+}
+
+// faultFile threads writes, syncs and truncates of one open file
+// through the FaultFS. It tracks the file offset so write events carry
+// absolute positions (the WAL writes sequentially; offset-changing
+// calls are Seek and sequential Read/Write).
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	pos   int64
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	n, err := f.inner.Read(p)
+	f.fs.mu.Lock()
+	f.pos += int64(n)
+	f.fs.mu.Unlock()
+	return n, err
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := f.inner.Seek(offset, whence)
+	if err == nil {
+		f.fs.mu.Lock()
+		f.pos = pos
+		f.fs.mu.Unlock()
+	}
+	return pos, err
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	short, ferr := f.fs.checkLocked(OpWrite, f.inner.Name())
+	if ferr != nil && short <= 0 {
+		return 0, opError(OpWrite, f.inner.Name(), ferr)
+	}
+	w := p
+	if ferr != nil && short < len(p) {
+		w = p[:short]
+	}
+	n, err := f.inner.Write(w)
+	if n > 0 {
+		f.fs.recordLocked(Event{
+			Op:   OpWrite,
+			Path: f.inner.Name(),
+			Off:  f.pos,
+			Data: append([]byte(nil), w[:n]...),
+		})
+		f.pos += int64(n)
+	}
+	if err == nil && ferr != nil {
+		err = opError(OpWrite, f.inner.Name(), ferr)
+	}
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, ferr := f.fs.checkLocked(OpSync, f.inner.Name()); ferr != nil {
+		return opError(OpSync, f.inner.Name(), ferr)
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.fs.recordLocked(Event{Op: OpSync, Path: f.inner.Name()})
+	return nil
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, ferr := f.fs.checkLocked(OpTruncate, f.inner.Name()); ferr != nil {
+		return opError(OpTruncate, f.inner.Name(), ferr)
+	}
+	if err := f.inner.Truncate(size); err != nil {
+		return err
+	}
+	f.fs.recordLocked(Event{Op: OpTruncate, Path: f.inner.Name(), Size: size})
+	return nil
+}
+
+func (f *faultFile) Close() error               { return f.inner.Close() }
+func (f *faultFile) Name() string               { return f.inner.Name() }
+func (f *faultFile) Stat() (fs.FileInfo, error) { return f.inner.Stat() }
+
+// MaterializeTrace replays a recorded event sequence into dstDir,
+// rebasing every path from srcDir — the disk-state reconstruction
+// behind power-cut simulation. The model is an ordered, non-reordering
+// disk: every traced write landed in order, so truncating the event
+// list at a cut point (and optionally appending a partial write plus a
+// zero-extending truncate, the torn-write shape) yields one plausible
+// post-crash disk. Sync events carry no state and are skipped.
+func MaterializeTrace(events []Event, srcDir, dstDir string) error {
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return err
+	}
+	files := make(map[string]*os.File)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	rebase := func(p string) (string, error) {
+		rel, err := filepath.Rel(srcDir, p)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return "", fmt.Errorf("vfs: trace path %s outside %s", p, srcDir)
+		}
+		return filepath.Join(dstDir, rel), nil
+	}
+	get := func(p string) (*os.File, error) {
+		if f, ok := files[p]; ok {
+			return f, nil
+		}
+		f, err := os.OpenFile(p, os.O_CREATE|os.O_RDWR, 0o644)
+		if err == nil {
+			files[p] = f
+		}
+		return f, err
+	}
+	drop := func(p string) {
+		if f, ok := files[p]; ok {
+			f.Close()
+			delete(files, p)
+		}
+	}
+	for i, ev := range events {
+		path, err := rebase(ev.Path)
+		if err != nil {
+			return err
+		}
+		switch ev.Op {
+		case OpCreate:
+			_, err = get(path)
+		case OpWrite:
+			var f *os.File
+			if f, err = get(path); err == nil {
+				_, err = f.WriteAt(ev.Data, ev.Off)
+			}
+		case OpTruncate:
+			var f *os.File
+			if f, err = get(path); err == nil {
+				err = f.Truncate(ev.Size)
+			}
+		case OpRename:
+			var to string
+			if to, err = rebase(ev.To); err == nil {
+				drop(path)
+				drop(to)
+				err = os.Rename(path, to)
+			}
+		case OpRemove:
+			drop(path)
+			err = os.Remove(path)
+		case OpSync, OpSyncDir:
+			// Durability barriers; no disk state of their own.
+		}
+		if err != nil {
+			return fmt.Errorf("vfs: materialize event %d (%s %s): %w", i, ev.Op, ev.Path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package vfs is the filesystem seam under the durability plane: the
+// small slice of os-level behaviour the WAL and checkpoint paths need
+// (open/create, write, sync, rename, remove, directory sync, advisory
+// locking), expressed as an interface so tests can substitute a
+// deterministic fault injector.
+//
+// OsFS is the production implementation — a zero-cost passthrough to
+// the os package. FaultFS (fault.go) wraps any FS and can fail the Nth
+// matching operation with a chosen errno (ENOSPC, EIO), cut a write
+// short, and record a full trace of mutating operations that
+// MaterializeTrace can replay — truncated or zero-torn at an arbitrary
+// cut point — to simulate a power cut for crash-consistency testing.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+)
+
+// File is the slice of *os.File behaviour the durability plane uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	Stat() (fs.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS abstracts the mutating filesystem operations of one directory
+// tree. Implementations must be safe for concurrent use: the WAL's
+// group-commit leader writes while checkpoints create, rename and
+// remove files in the same directory.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (flag is the usual
+	// os.O_* bitmask).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory so renames and removals inside it are
+	// durable.
+	SyncDir(dir string) error
+	// Flock takes a non-blocking exclusive advisory lock on an open
+	// file; the lock is released when the file is closed (or the owning
+	// process dies).
+	Flock(f File) error
+}
+
+// OS is the passthrough FS used by production code paths.
+var OS FS = OsFS{}
+
+// OsFS implements FS directly on the os package.
+type OsFS struct{}
+
+// OpenFile opens the file through os.OpenFile.
+func (OsFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return an explicit nil interface: boxing the nil *os.File
+		// would make the caller's f != nil check lie.
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename renames through os.Rename.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes through os.Remove.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll creates the directory tree through os.MkdirAll.
+func (OsFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir lists through os.ReadDir.
+func (OsFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat stats through os.Stat.
+func (OsFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir opens the directory and fsyncs it.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Flock takes LOCK_EX|LOCK_NB on the file's descriptor.
+func (OsFS) Flock(f File) error {
+	fd, ok := f.(interface{ Fd() uintptr })
+	if !ok {
+		return fmt.Errorf("vfs: file %s exposes no descriptor to lock", f.Name())
+	}
+	return syscall.Flock(int(fd.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// tempSeq distinguishes CreateTemp names within one process.
+var tempSeq atomic.Uint64
+
+// CreateTemp mirrors os.CreateTemp on an arbitrary FS: it creates a
+// new file in dir whose name is pattern with the last "*" (or a
+// suffix, when pattern has no "*") replaced by a unique string, opened
+// O_RDWR|O_CREATE|O_EXCL.
+func CreateTemp(fsys FS, dir, pattern string) (File, error) {
+	prefix, suffix, ok := strings.Cut(pattern, "*")
+	if !ok {
+		prefix, suffix = pattern, ""
+	}
+	pid := uint64(os.Getpid())
+	for try := 0; try < 10000; try++ {
+		tag := strconv.FormatUint(pid, 10) + "-" + strconv.FormatUint(tempSeq.Add(1), 10)
+		f, err := fsys.OpenFile(filepath.Join(dir, prefix+tag+suffix),
+			os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if err != nil && errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		return f, err
+	}
+	return nil, fmt.Errorf("vfs: CreateTemp %s: exhausted names", pattern)
+}

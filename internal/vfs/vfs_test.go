@@ -1,0 +1,304 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOsFSRoundtrip drives every FS method through OsFS against a real
+// directory.
+func TestOsFSRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(sub, "f")
+	f, err := OS.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	var buf [8]byte
+	if n, err := f.ReadAt(buf[:4], 0); err != nil || string(buf[:n]) != "hell" {
+		t.Fatalf("ReadAt: %q, %v", buf[:n], err)
+	}
+	if fi, err := f.Stat(); err != nil || fi.Size() != 4 {
+		t.Fatalf("Stat: %v, %v", fi, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	moved := filepath.Join(sub, "g")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := OS.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	entries, err := OS.ReadDir(sub)
+	if err != nil || len(entries) != 1 || entries[0].Name() != "g" {
+		t.Fatalf("ReadDir: %v, %v", entries, err)
+	}
+	if _, err := OS.Stat(moved); err != nil {
+		t.Fatalf("Stat(dir): %v", err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+// TestOsFSFlockConflict proves Flock is a real exclusive lock: a second
+// descriptor on the same file cannot take it.
+func TestOsFSFlockConflict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOCK")
+	f1, err := OS.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	if err := OS.Flock(f1); err != nil {
+		t.Fatalf("first Flock: %v", err)
+	}
+	f2, err := OS.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := OS.Flock(f2); err == nil {
+		t.Fatal("second Flock on a held lock succeeded")
+	}
+	// Closing the holder releases the lock.
+	f1.Close()
+	if err := OS.Flock(f2); err != nil {
+		t.Fatalf("Flock after release: %v", err)
+	}
+}
+
+func TestCreateTemp(t *testing.T) {
+	dir := t.TempDir()
+	f1, err := CreateTemp(OS, dir, "checkpoint-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	f2, err := CreateTemp(OS, dir, "checkpoint-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f1.Name() == f2.Name() {
+		t.Fatalf("CreateTemp produced colliding names %s", f1.Name())
+	}
+	base := filepath.Base(f1.Name())
+	if base == "checkpoint-.tmp" || filepath.Ext(base) != ".tmp" {
+		t.Fatalf("unexpected temp name %s", base)
+	}
+}
+
+// TestFaultFSNthSticky arms a sticky write fault at the second write:
+// the first passes, the second and every later one fail with the
+// injected errno.
+func TestFaultFSNthSticky(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.SetFault(Fault{Kinds: OpWrite.Mask(), Nth: 2, Err: syscall.ENOSPC})
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		if _, err := f.Write([]byte("xx")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d: want ENOSPC, got %v", i, err)
+		}
+	}
+	ffs.ClearFault()
+	if _, err := f.Write([]byte("two")); err != nil {
+		t.Fatalf("write after clear: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "onetwo" {
+		t.Fatalf("file content %q, want %q", data, "onetwo")
+	}
+}
+
+// TestFaultFSOnce: with Once set only the Nth operation fails.
+func TestFaultFSOnce(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	f, err := ffs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.SetFault(Fault{Kinds: OpSync.Mask(), Nth: 1, Once: true, Err: syscall.EIO})
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 1: want EIO, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2 after once-fault: %v", err)
+	}
+}
+
+// TestFaultFSShortWrite: the Nth write lands only Short bytes and
+// still reports the error, like a disk filling mid-write.
+func TestFaultFSShortWrite(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.SetFault(Fault{Kinds: OpWrite.Mask(), Err: syscall.ENOSPC, Short: 3})
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "abc" {
+		t.Fatalf("file content %q, want %q", data, "abc")
+	}
+}
+
+// TestFaultFSPathFilter: the fault arms only on matching paths.
+func TestFaultFSPathFilter(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	ffs.SetFault(Fault{Kinds: OpCreate.Mask(), PathContains: ".tmp", Err: syscall.ENOSPC})
+	if f, err := ffs.OpenFile(filepath.Join(dir, "plain"), os.O_CREATE|os.O_RDWR, 0o644); err != nil {
+		t.Fatalf("unfiltered create: %v", err)
+	} else {
+		f.Close()
+	}
+	if _, err := ffs.OpenFile(filepath.Join(dir, "x.tmp"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("filtered create: want ENOSPC, got %v", err)
+	}
+	var pe *fs.PathError
+	if err := ffs.Remove(filepath.Join(dir, "plain")); err != nil {
+		t.Fatalf("remove: %v", err)
+	} else if errors.As(err, &pe) {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestTraceMaterializeRoundtrip records a full mutation history and
+// replays it into a second directory, which must end up byte-identical.
+func TestTraceMaterializeRoundtrip(t *testing.T) {
+	src, dst := t.TempDir(), filepath.Join(t.TempDir(), "dst")
+	ffs := NewFaultFS(nil)
+	ffs.StartTrace()
+
+	f, err := ffs.OpenFile(filepath.Join(src, "seg"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"alpha", "beta", "gamma"} {
+		if _, err := f.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(12); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tmp, err := ffs.OpenFile(filepath.Join(src, "snap.tmp"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("snapshot-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	if err := ffs.Rename(filepath.Join(src, "snap.tmp"), filepath.Join(src, "snap")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir(src); err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := ffs.OpenFile(filepath.Join(src, "old"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed.Close()
+	if err := ffs.Remove(filepath.Join(src, "old")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := MaterializeTrace(ffs.Trace(), src, dst); err != nil {
+		t.Fatalf("MaterializeTrace: %v", err)
+	}
+	srcEntries, _ := os.ReadDir(src)
+	dstEntries, _ := os.ReadDir(dst)
+	if len(srcEntries) != len(dstEntries) {
+		t.Fatalf("entry count: src %d dst %d", len(srcEntries), len(dstEntries))
+	}
+	for _, e := range srcEntries {
+		a, _ := os.ReadFile(filepath.Join(src, e.Name()))
+		b, err := os.ReadFile(filepath.Join(dst, e.Name()))
+		if err != nil || !bytes.Equal(a, b) {
+			t.Fatalf("file %s differs: src %d bytes, dst %d bytes (%v)", e.Name(), len(a), len(b), err)
+		}
+	}
+}
+
+// TestMaterializeTornWrite reconstructs the two power-cut shapes of an
+// interrupted write: plain truncation (partial bytes, short file) and
+// a zero-torn extension (file grown to full length, data missing).
+func TestMaterializeTornWrite(t *testing.T) {
+	src := t.TempDir()
+	ffs := NewFaultFS(nil)
+	ffs.StartTrace()
+	f, err := ffs.OpenFile(filepath.Join(src, "seg"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	events := ffs.Trace()
+	last := events[len(events)-1]
+	if last.Op != OpWrite || len(last.Data) != 10 {
+		t.Fatalf("unexpected final event %+v", last)
+	}
+
+	partial := Event{Op: OpWrite, Path: last.Path, Off: last.Off, Data: last.Data[:4]}
+	truncDst := filepath.Join(t.TempDir(), "trunc")
+	cut := append(append([]Event{}, events[:len(events)-1]...), partial)
+	if err := MaterializeTrace(cut, src, truncDst); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(filepath.Join(truncDst, "seg")); string(data) != "0123" {
+		t.Fatalf("truncated tear: %q", data)
+	}
+
+	tornDst := filepath.Join(t.TempDir(), "torn")
+	cut = append(cut, Event{Op: OpTruncate, Path: last.Path, Size: last.Off + int64(len(last.Data))})
+	if err := MaterializeTrace(cut, src, tornDst); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("0123"), make([]byte, 6)...)
+	if data, _ := os.ReadFile(filepath.Join(tornDst, "seg")); !bytes.Equal(data, want) {
+		t.Fatalf("zero tear: %q", data)
+	}
+}

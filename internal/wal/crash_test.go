@@ -14,12 +14,13 @@ import (
 
 	"cuckoograph/internal/core"
 	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/vfs"
 )
 
 // lastSegment returns the newest segment's path.
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("listSegments: %v (%d segments)", err, len(segs))
 	}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"cuckoograph/internal/core"
+	"cuckoograph/internal/vfs"
 )
 
 // Position addresses one byte of the log: a segment index and a byte
@@ -142,7 +143,7 @@ const readerChunkBytes = 256 << 10
 type Reader struct {
 	w    *WAL
 	pos  Position
-	f    *os.File
+	f    vfs.File
 	fSeg uint64
 	buf  []byte
 }
@@ -195,7 +196,7 @@ func (r *Reader) open() error {
 		r.f.Close()
 		r.f = nil
 	}
-	f, err := os.Open(segmentPath(r.w.dir, r.pos.Seg))
+	f, err := r.w.fs.OpenFile(segmentPath(r.w.dir, r.pos.Seg), os.O_RDONLY, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return ErrCompacted
@@ -299,7 +300,7 @@ func (r *Reader) read(avail int64) ([]byte, Position, error) {
 // removed it — an unpinned reader fell below the retention floor.
 func (r *Reader) nextSegment() error {
 	next := r.pos.Seg + 1
-	if _, err := os.Stat(segmentPath(r.w.dir, next)); err != nil {
+	if _, err := r.w.fs.Stat(segmentPath(r.w.dir, next)); err != nil {
 		if os.IsNotExist(err) {
 			return ErrCompacted
 		}

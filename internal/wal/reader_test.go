@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cuckoograph/internal/core"
+	"cuckoograph/internal/vfs"
 )
 
 // drainReader reads every available chunk from r and decodes the ops.
@@ -137,7 +138,7 @@ func TestPinBlocksCompaction(t *testing.T) {
 		}
 	}
 	segCount := func() int {
-		segs, err := listSegments(w.dir)
+		segs, err := listSegments(vfs.OS, w.dir)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,6 +14,7 @@ import (
 
 	"cuckoograph/internal/core"
 	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/vfs"
 )
 
 // ReplayStats summarises one replay pass.
@@ -38,8 +39,14 @@ type ReplayStats struct {
 // whole directory, or a checkpoint's cut segment to replay only the
 // records the snapshot does not cover.
 func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (ReplayStats, error) {
+	return ReplayFS(vfs.OS, dir, fromSeg, fn)
+}
+
+// ReplayFS is Replay on an arbitrary filesystem — the entry point for
+// crash-simulation harnesses that reconstruct a directory elsewhere.
+func ReplayFS(fsys vfs.FS, dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (ReplayStats, error) {
 	var stats ReplayStats
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return stats, nil
@@ -51,7 +58,7 @@ func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (Repl
 			continue
 		}
 		last := i == len(segs)-1
-		valid, n, batches, err := scanSegment(s.path, s.index, last, fn)
+		valid, n, batches, err := scanSegment(fsys, s.path, s.index, last, fn)
 		if err != nil {
 			return stats, err
 		}
@@ -59,7 +66,7 @@ func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (Repl
 		stats.Records += n
 		stats.BatchRecords += batches
 		if last {
-			if fi, err := os.Stat(s.path); err == nil && fi.Size() > valid {
+			if fi, err := fsys.Stat(s.path); err == nil && fi.Size() > valid {
 				stats.TornBytes = fi.Size() - valid
 			}
 		}
@@ -85,8 +92,8 @@ func Replay(dir string, fromSeg uint64, fn func(op Op, u, v uint64) error) (Repl
 // reported as corruption rather than silently dropping the
 // acknowledged records after it. Batch ops are validated whole before
 // any of them is delivered: a record never applies partially.
-func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u, v uint64) error) (int64, uint64, uint64, error) {
-	f, err := os.Open(path)
+func scanSegment(fsys vfs.FS, path string, index uint64, tolerateTail bool, fn func(op Op, u, v uint64) error) (int64, uint64, uint64, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -103,6 +110,42 @@ func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u,
 		return &core.CorruptError{Source: name, Offset: off, Detail: detail, Err: cause}
 	}
 
+	// headerTear classifies a header that failed validation on the
+	// newest segment: when the file is a prefix of the expected header
+	// followed by nothing but zeros, the crash struck the segment's
+	// create — the file carries no records and is recreated whole by
+	// the next open. Landed non-header bytes refuse the tear: they mean
+	// the header validated once and was damaged later, which is
+	// corruption, not a crash artifact.
+	headerTear := func() (bool, error) {
+		var want [segHeaderSize]byte
+		binary.LittleEndian.PutUint32(want[0:], segMagic)
+		want[4] = segVersion
+		binary.LittleEndian.PutUint64(want[5:], index)
+		var got [segHeaderSize]byte
+		n, err := f.ReadAt(got[:], 0)
+		if err != nil && err != io.EOF {
+			return false, err
+		}
+		match := 0
+		for match < n && got[match] == want[match] {
+			match++
+		}
+		return zeroToEOF(f, int64(match), fileSize)
+	}
+	badHeader := func(off int64, detail string) (int64, uint64, uint64, error) {
+		if tolerateTail {
+			torn, terr := headerTear()
+			if terr != nil {
+				return 0, 0, 0, fmt.Errorf("wal: classify header of %s: %w", name, terr)
+			}
+			if torn {
+				return 0, 0, 0, nil
+			}
+		}
+		return 0, 0, 0, corrupt(off, detail, nil)
+	}
+
 	var hdr [segHeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		if tolerateTail {
@@ -112,13 +155,13 @@ func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u,
 		return 0, 0, 0, corrupt(0, "segment header truncated", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != segMagic {
-		return 0, 0, 0, corrupt(0, "not a WAL segment", nil)
+		return badHeader(0, "not a WAL segment")
 	}
 	if hdr[4] != segVersion {
-		return 0, 0, 0, corrupt(4, fmt.Sprintf("unsupported WAL version %d", hdr[4]), nil)
+		return badHeader(4, fmt.Sprintf("unsupported WAL version %d", hdr[4]))
 	}
 	if got := binary.LittleEndian.Uint64(hdr[5:]); got != index {
-		return 0, 0, 0, corrupt(5, fmt.Sprintf("segment claims index %d, file named %d", got, index), nil)
+		return badHeader(5, fmt.Sprintf("segment claims index %d, file named %d", got, index))
 	}
 
 	// The legacy tear window: garbage entirely within one single-op
@@ -233,7 +276,7 @@ func scanSegment(path string, index uint64, tolerateTail bool, fn func(op Op, u,
 // of the scanner's buffered position. An I/O failure is returned as an
 // error — a read that could not happen proves nothing about the bytes,
 // and must not be mistaken for a corruption verdict.
-func zeroToEOF(f *os.File, from, end int64) (bool, error) {
+func zeroToEOF(f io.ReaderAt, from, end int64) (bool, error) {
 	buf := make([]byte, 64<<10)
 	for off := from; off < end; {
 		n, err := f.ReadAt(buf[:min(int64(len(buf)), end-off)], off)
@@ -332,17 +375,22 @@ type RecoverStats struct {
 // returned graph has no WAL attached; callers typically Open the same
 // directory next and SetWAL it.
 func Recover(dir string, cfg sharded.Config) (*sharded.Graph, RecoverStats, error) {
+	return RecoverFS(vfs.OS, dir, cfg)
+}
+
+// RecoverFS is Recover on an arbitrary filesystem.
+func RecoverFS(fsys vfs.FS, dir string, cfg sharded.Config) (*sharded.Graph, RecoverStats, error) {
 	var stats RecoverStats
 	start := time.Now()
 	cfg.WAL = nil
 
-	snap, seg, err := newestCheckpoint(dir)
+	snap, seg, err := newestCheckpoint(fsys, dir)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, stats, err
 	}
 	var g *sharded.Graph
 	if snap != "" {
-		f, err := os.Open(snap)
+		f, err := fsys.OpenFile(snap, os.O_RDONLY, 0)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -360,7 +408,7 @@ func Recover(dir string, cfg sharded.Config) (*sharded.Graph, RecoverStats, erro
 	// source node (the order that matters) while amortizing shard locks
 	// and cell lookups — recovery is itself a bulk ingest.
 	c := core.NewChunker(sharded.LoadBatchSize, func(b core.Batch) { g.ApplyBatch(b) })
-	stats.Replay, err = Replay(dir, seg, func(op Op, u, v uint64) error {
+	stats.Replay, err = ReplayFS(fsys, dir, seg, func(op Op, u, v uint64) error {
 		switch op {
 		case OpInsert:
 			c.Insert(u, v)
@@ -385,12 +433,12 @@ func Recover(dir string, cfg sharded.Config) (*sharded.Graph, RecoverStats, erro
 // leaves either the old recovery state or the new one, never neither.
 // It returns the checkpoint file path.
 func Checkpoint(g *sharded.Graph, w *WAL) (string, error) {
-	dir := w.Dir()
-	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	dir, fsys := w.Dir(), w.FS()
+	tmp, err := vfs.CreateTemp(fsys, dir, "checkpoint-*.tmp")
 	if err != nil {
 		return "", err
 	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	defer fsys.Remove(tmp.Name()) // no-op after the rename succeeds
 
 	var cut uint64
 	err = g.Checkpoint(tmp, func() error {
@@ -409,16 +457,16 @@ func Checkpoint(g *sharded.Graph, w *WAL) (string, error) {
 	}
 
 	final := checkpointPath(dir, cut)
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := fsys.Rename(tmp.Name(), final); err != nil {
 		return "", err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return "", err
 	}
 	if err := w.RemoveSegmentsBefore(cut); err != nil {
 		return final, err
 	}
-	if err := removeCheckpointsBefore(dir, cut); err != nil {
+	if err := removeCheckpointsBefore(fsys, dir, cut); err != nil {
 		return final, err
 	}
 	return final, nil
@@ -430,8 +478,8 @@ func checkpointPath(dir string, seg uint64) string {
 
 // newestCheckpoint returns the path and cut segment of the newest
 // checkpoint snapshot in dir, or ("", 0, nil) when there is none.
-func newestCheckpoint(dir string) (string, uint64, error) {
-	entries, err := os.ReadDir(dir)
+func newestCheckpoint(fsys vfs.FS, dir string) (string, uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return "", 0, err
 	}
@@ -453,8 +501,8 @@ func newestCheckpoint(dir string) (string, uint64, error) {
 	return best, bestSeg, nil
 }
 
-func removeCheckpointsBefore(dir string, seg uint64) error {
-	entries, err := os.ReadDir(dir)
+func removeCheckpointsBefore(fsys vfs.FS, dir string, seg uint64) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -468,13 +516,13 @@ func removeCheckpointsBefore(dir string, seg uint64) error {
 		if err != nil || s >= seg {
 			continue
 		}
-		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 			return err
 		}
 		removed = true
 	}
 	if removed {
-		return syncDir(dir)
+		return syncDir(fsys, dir)
 	}
 	return nil
 }

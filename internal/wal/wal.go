@@ -27,6 +27,13 @@
 // RemoveSegmentsBefore — which now scans and deletes entirely under
 // the WAL lock; see its contract note — can never unlink a segment a
 // reader still needs.
+//
+// All file access goes through the internal/vfs seam (Options.FS), so
+// tests inject deterministic storage faults and record write traces
+// for power-cut simulation; a write or fsync failure poisons the log
+// with a sticky error — it must be reopened, not written around. The
+// crash-consistency harness and the server's degraded-mode contract
+// are documented in README.md § Failure modes & degraded operation.
 package wal
 
 import (
@@ -41,9 +48,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 
 	"cuckoograph/internal/core"
+	"cuckoograph/internal/vfs"
 )
 
 // Op tags one log record.
@@ -138,6 +145,10 @@ type Options struct {
 	SegmentBytes int64
 	// Sync is the fsync policy for group commits.
 	Sync SyncPolicy
+	// FS is the filesystem the log lives on; nil means vfs.OS. Tests
+	// substitute a vfs.FaultFS to inject storage failures and record
+	// write traces for crash simulation.
+	FS vfs.FS
 }
 
 // DefaultSegmentBytes is the default segment rotation threshold.
@@ -180,11 +191,12 @@ var ErrClosed = errors.New("wal: closed")
 type WAL struct {
 	dir  string
 	opts Options
-	lock *os.File // flock-held LOCK file: one writing process per dir
+	fs   vfs.FS   // opts.FS, defaulted; every disk touch goes through it
+	lock vfs.File // flock-held LOCK file: one writing process per dir
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	f    *os.File // current segment, positioned at its end
+	f    vfs.File // current segment, positioned at its end
 	seg  uint64   // current segment index
 	size int64    // bytes written to the current segment
 
@@ -268,14 +280,17 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	lock, err := lockDir(dir)
+	lock, err := lockDir(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, opts: opts, lock: lock}
+	w := &WAL{dir: dir, opts: opts, fs: opts.FS, lock: lock}
 	w.cond = sync.NewCond(&w.mu)
 	if err := w.openForAppend(); err != nil {
 		if w.f != nil {
@@ -291,7 +306,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 // openForAppend positions w at the end of the newest intact record,
 // creating the first segment if the directory is fresh.
 func (w *WAL) openForAppend() error {
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -299,19 +314,19 @@ func (w *WAL) openForAppend() error {
 		return w.openSegment(1)
 	}
 	last := segs[len(segs)-1]
-	valid, _, _, err := scanSegment(last.path, last.index, true, nil)
+	valid, _, _, err := scanSegment(w.fs, last.path, last.index, true, nil)
 	if err != nil {
 		return err
 	}
 	if valid < segHeaderSize {
 		// The crash tore the segment's own header; recreate it whole
 		// rather than appending records to a headerless file.
-		if err := os.Remove(last.path); err != nil {
+		if err := w.fs.Remove(last.path); err != nil {
 			return err
 		}
 		return w.openSegment(last.index)
 	}
-	f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	f, err := w.fs.OpenFile(last.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -336,12 +351,12 @@ func (w *WAL) openForAppend() error {
 // lockDir takes an exclusive flock on dir/LOCK so only one process
 // appends to a WAL directory at a time. The kernel drops the lock when
 // the process dies, so a SIGKILL never wedges the next boot.
-func lockDir(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+func lockDir(fsys vfs.FS, dir string) (vfs.File, error) {
+	f, err := fsys.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+	if err := fsys.Flock(f); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: %s is in use by another process: %w", dir, err)
 	}
@@ -397,6 +412,14 @@ func (w *WAL) startFlusher() {
 
 // Dir returns the WAL's directory.
 func (w *WAL) Dir() string { return w.dir }
+
+// Options returns the WAL's normalised options (defaults resolved, FS
+// set) — what a caller re-opening the same log after a failure should
+// pass to Open.
+func (w *WAL) Options() Options { return w.opts }
+
+// FS returns the filesystem the WAL operates on.
+func (w *WAL) FS() vfs.FS { return w.fs }
 
 // Segment returns the index of the segment currently appended to. It
 // waits out any in-flight group commit: the leader mutates the segment
@@ -585,7 +608,7 @@ func (w *WAL) rotate() error {
 // openSegment creates segment index and makes it current.
 func (w *WAL) openSegment(index uint64) error {
 	path := segmentPath(w.dir, index)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment %d: %w", index, err)
 	}
@@ -602,7 +625,7 @@ func (w *WAL) openSegment(index uint64) error {
 			f.Close()
 			return fmt.Errorf("wal: create segment %d: %w", index, err)
 		}
-		if err := syncDir(w.dir); err != nil {
+		if err := syncDir(w.fs, w.dir); err != nil {
 			f.Close()
 			return err
 		}
@@ -709,14 +732,14 @@ func (w *WAL) RemoveSegmentsBefore(seg uint64) error {
 			floor = p.seg
 		}
 	}
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
 	removed := false
 	for _, s := range segs {
 		if s.index < floor && s.index != w.seg {
-			if err := os.Remove(s.path); err != nil {
+			if err := w.fs.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: remove %s: %w", s.path, err)
 			}
 			removed = true
@@ -725,7 +748,7 @@ func (w *WAL) RemoveSegmentsBefore(seg uint64) error {
 	if !removed {
 		return nil
 	}
-	return syncDir(w.dir)
+	return syncDir(w.fs, w.dir)
 }
 
 // Close flushes, fsyncs and closes the WAL. Further appends fail with
@@ -772,7 +795,7 @@ func (w *WAL) Close() error {
 		w.f = nil
 	}
 	if err == nil {
-		if derr := syncDir(w.dir); derr != nil {
+		if derr := syncDir(w.fs, w.dir); derr != nil {
 			err = derr
 		}
 	}
@@ -822,8 +845,8 @@ type segmentRef struct {
 }
 
 // listSegments returns the directory's segment files sorted by index.
-func listSegments(dir string) ([]segmentRef, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]segmentRef, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -845,13 +868,8 @@ func listSegments(dir string) ([]segmentRef, error) {
 
 // syncDir fsyncs a directory so renames and removals inside it are
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: fsync dir %s: %w", dir, err)
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 
 	"cuckoograph/internal/core"
 	"cuckoograph/internal/sharded"
+	"cuckoograph/internal/vfs"
 )
 
 // testCfg pins the shard count so replayed graphs are structurally
@@ -149,7 +150,7 @@ func TestSegmentRotationAndReplay(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestCheckpointTruncatesSegmentsAndOldCheckpoints(t *testing.T) {
 	if _, err := os.Stat(first); !os.IsNotExist(err) {
 		t.Fatalf("first checkpoint %s should be compacted away, stat err=%v", first, err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestCorruptionMidLogIsTyped(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
